@@ -1,0 +1,220 @@
+// Benchmark harness: one testing.B benchmark per paper table and figure,
+// plus ablation benches for the design choices DESIGN.md calls out. Each
+// benchmark regenerates its experiment on the simulated substrate and
+// reports the headline metric through b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the paper's evaluation end to end (see EXPERIMENTS.md for
+// paper-vs-measured).
+package holmes
+
+import (
+	"fmt"
+	"testing"
+
+	"holmes/internal/experiments"
+	"holmes/internal/model"
+	"holmes/internal/topology"
+	"holmes/internal/trainer"
+)
+
+func reportRows(b *testing.B, rows []ExperimentRow) {
+	b.Helper()
+	for _, r := range rows {
+		b.Logf("%-24s %8.1f TFLOPS %10.2f samples/s (paper: %.0f / %.2f)  %s",
+			r.Label, r.TFLOPS, r.Throughput, r.PaperTFLOPS, r.PaperThroughput, r.Partition)
+	}
+}
+
+func benchExperiment(b *testing.B, id string) []ExperimentRow {
+	b.Helper()
+	var rows []ExperimentRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRows(b, rows)
+	return rows
+}
+
+// BenchmarkTable1 regenerates Table 1: GPT-3.6B on 4 nodes across
+// InfiniBand / RoCE / Ethernet (+ the Hybrid cell).
+func BenchmarkTable1(b *testing.B) {
+	rows := benchExperiment(b, "table1")
+	b.ReportMetric(rows[0].TFLOPS, "IB-TFLOPS")
+}
+
+// BenchmarkTable3 regenerates the full Table 3 grid: 4 parameter groups ×
+// 4 environments × {4,6,8} nodes (48 simulations per iteration).
+func BenchmarkTable3(b *testing.B) {
+	rows := benchExperiment(b, "table3")
+	b.ReportMetric(float64(len(rows)), "cells")
+}
+
+// BenchmarkFigure4 regenerates the grads-reduce-scatter comparison.
+func BenchmarkFigure4(b *testing.B) {
+	rows := benchExperiment(b, "fig4")
+	for _, r := range rows {
+		b.Logf("%-24s %10.1f ms", r.Label, r.ReduceScatterMs)
+	}
+}
+
+// BenchmarkFigure5 regenerates the self-adapting vs uniform partition
+// comparison.
+func BenchmarkFigure5(b *testing.B) {
+	rows := benchExperiment(b, "fig5")
+	b.ReportMetric(rows[0].TFLOPS-rows[1].TFLOPS, "PG1-SA-gain-TFLOPS")
+}
+
+// BenchmarkFigure6 regenerates the framework comparison (PG3, 8 hybrid
+// nodes).
+func BenchmarkFigure6(b *testing.B) {
+	rows := benchExperiment(b, "fig6")
+	b.ReportMetric(rows[len(rows)-1].Throughput, "Holmes-samples/s")
+}
+
+// BenchmarkFigure7 regenerates the 39.1B scalability study (4/8/12
+// nodes).
+func BenchmarkFigure7(b *testing.B) {
+	rows := benchExperiment(b, "fig7")
+	for _, r := range rows {
+		if r.PaperThroughput > 0 {
+			b.Logf("%-20s %8.2f samples/s (paper %.2f)", r.Label, r.Throughput, r.PaperThroughput)
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates the component ablation.
+func BenchmarkTable4(b *testing.B) {
+	rows := benchExperiment(b, "table4")
+	b.ReportMetric(rows[1].TFLOPS, "Holmes-TFLOPS")
+}
+
+// --- Ablation benches beyond the paper ---
+
+// BenchmarkAblationAlpha sweeps the self-adapting partition's α
+// hyper-parameter around the paper's 1.05.
+func BenchmarkAblationAlpha(b *testing.B) {
+	topo := topology.HybridEnv(8)
+	spec := model.Group(1).Spec
+	for _, alpha := range []float64{0.95, 1.05, 1.15} {
+		b.Run(fmt.Sprintf("alpha=%.2f", alpha), func(b *testing.B) {
+			opt := trainer.DefaultOptions(trainer.Holmes)
+			opt.Alpha = alpha
+			var rep trainer.Report
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = trainer.Simulate(trainer.Config{
+					Topo: topo, Spec: spec, TensorSize: 1, PipelineSize: 2,
+					Framework: trainer.Holmes, Opt: &opt,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rep.TFLOPS, "TFLOPS")
+		})
+	}
+}
+
+// BenchmarkAblationSchedule compares 1F1B against GPipe on the hybrid
+// environment.
+func BenchmarkAblationSchedule(b *testing.B) {
+	topo := topology.HybridEnv(4)
+	spec := model.Group(1).Spec
+	for _, gpipe := range []bool{false, true} {
+		name := "1F1B"
+		if gpipe {
+			name = "GPipe"
+		}
+		b.Run(name, func(b *testing.B) {
+			opt := trainer.DefaultOptions(trainer.Holmes)
+			opt.GPipeSchedule = gpipe
+			var rep trainer.Report
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = trainer.Simulate(trainer.Config{
+					Topo: topo, Spec: spec, TensorSize: 1, PipelineSize: 2,
+					Framework: trainer.Holmes, Opt: &opt,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rep.TFLOPS, "TFLOPS")
+		})
+	}
+}
+
+// BenchmarkAblationNICCount isolates the IB-4-NICs vs RoCE-2-NICs
+// asymmetry (DESIGN.md decision 1): a RoCE cluster with 4 NICs per node
+// closes part of the gap to InfiniBand.
+func BenchmarkAblationNICCount(b *testing.B) {
+	spec := model.Group(1).Spec
+	base := trainer.BaseOptions()
+	for _, tc := range []struct {
+		name string
+		nics int
+	}{{"RoCE-2NICs", 2}, {"RoCE-4NICs", 4}} {
+		b.Run(tc.name, func(b *testing.B) {
+			topo := topology.MustBuild(topology.Spec{Clusters: []topology.ClusterSpec{
+				{NIC: topology.RoCE, Nodes: 4, NICsPerNode: tc.nics},
+			}})
+			var rep trainer.Report
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = trainer.Simulate(trainer.Config{
+					Topo: topo, Spec: spec, TensorSize: 1, PipelineSize: 2,
+					Framework: trainer.Holmes, Opt: &base,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rep.TFLOPS, "TFLOPS")
+		})
+	}
+}
+
+// BenchmarkAblationOverlap isolates the overlapped distributed optimizer
+// on the slowest fabric, where it matters most.
+func BenchmarkAblationOverlap(b *testing.B) {
+	topo := topology.EthernetEnv(4)
+	spec := model.Group(1).Spec
+	for _, overlap := range []bool{false, true} {
+		name := "serial"
+		if overlap {
+			name = "overlapped"
+		}
+		b.Run(name, func(b *testing.B) {
+			opt := trainer.BaseOptions()
+			opt.OverlappedOptimizer = overlap
+			var rep trainer.Report
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = trainer.Simulate(trainer.Config{
+					Topo: topo, Spec: spec, TensorSize: 1, PipelineSize: 2,
+					Framework: trainer.Holmes, Opt: &opt,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rep.TFLOPS, "TFLOPS")
+		})
+	}
+}
+
+// BenchmarkPlannerSearch measures the pipeline-degree search itself.
+func BenchmarkPlannerSearch(b *testing.B) {
+	topo := topology.HybridEnv(4)
+	for i := 0; i < b.N; i++ {
+		if _, err := AutoPlan(topo, ParameterGroup(1), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

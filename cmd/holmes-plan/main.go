@@ -1,0 +1,85 @@
+// Command holmes-plan prints the Holmes training plan for a topology: the
+// parallel-group layout, NIC selection per group kind, the pipeline
+// partition, and the predicted performance.
+//
+// Usage:
+//
+//	holmes-plan -env Hybrid -nodes 8 -group 3 -tensor 1 -pipeline 4
+//	holmes-plan -env Hybrid -nodes 8 -group 3 -auto
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"holmes/internal/core"
+	"holmes/internal/metrics"
+	"holmes/internal/model"
+	"holmes/internal/topology"
+)
+
+func main() {
+	var (
+		env     = flag.String("env", "Hybrid", "NIC environment: InfiniBand | RoCE | Ethernet | Hybrid")
+		nodes   = flag.Int("nodes", 8, "total node count (8 GPUs each)")
+		group   = flag.Int("group", 1, "parameter group 1-4 (Table 2)")
+		tensor  = flag.Int("tensor", 1, "tensor parallel degree")
+		pipe    = flag.Int("pipeline", 0, "pipeline parallel degree (0 with -auto)")
+		auto    = flag.Bool("auto", false, "search the pipeline degree")
+		verbose = flag.Bool("v", false, "also dump every communication group")
+	)
+	flag.Parse()
+
+	topo, err := topology.Env(topology.EnvName(*env), *nodes)
+	if err != nil {
+		fatal(err)
+	}
+	spec := model.Group(*group).Spec
+	pl, err := core.NewPlanner(topo, spec)
+	if err != nil {
+		fatal(err)
+	}
+
+	var plan *core.Plan
+	if *auto {
+		plan, err = pl.SearchPipeline(*tensor)
+	} else {
+		p := *pipe
+		if p == 0 {
+			p = model.Group(*group).PipelineSize
+		}
+		plan, err = pl.Plan(*tensor, p)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Print(topo)
+	fmt.Println(spec)
+	fmt.Println()
+	fmt.Print(plan.Describe())
+
+	costs := pl.CommunicationCost(plan)
+	fmt.Println("\nper-iteration communication volume:")
+	tb := metrics.New("kind", "GiB")
+	for kind, bytes := range costs {
+		tb.AddF(kind.String(), bytes/(1<<30))
+	}
+	fmt.Print(tb.String())
+
+	if *verbose {
+		fmt.Println("\ncommunication groups:")
+		for _, g := range plan.World.DPGroups {
+			fmt.Println(" ", g)
+		}
+		for _, g := range plan.World.PPGroups {
+			fmt.Println(" ", g)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "holmes-plan:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Command holmes-sim runs one simulated training iteration from a JSON
+// configuration (or flags) and reports the paper's metrics.
+//
+// Usage:
+//
+//	holmes-sim -config experiment.json
+//	holmes-sim -env Hybrid -nodes 8 -group 3 -pipeline 4 -framework Holmes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"holmes/internal/config"
+	"holmes/internal/metrics"
+	"holmes/internal/model"
+	"holmes/internal/topology"
+	"holmes/internal/trainer"
+)
+
+func main() {
+	var (
+		cfgPath   = flag.String("config", "", "JSON experiment config (overrides other flags)")
+		env       = flag.String("env", "Hybrid", "NIC environment: InfiniBand | RoCE | Ethernet | Hybrid")
+		nodes     = flag.Int("nodes", 8, "total node count")
+		group     = flag.Int("group", 1, "parameter group 1-4")
+		tensor    = flag.Int("tensor", 1, "tensor parallel degree")
+		pipe      = flag.Int("pipeline", 2, "pipeline parallel degree")
+		framework = flag.String("framework", "Holmes", "Holmes | Megatron-LM | Megatron-DeepSpeed | Megatron-LLaMA")
+	)
+	flag.Parse()
+
+	var tc trainer.Config
+	if *cfgPath != "" {
+		c, err := config.LoadFile(*cfgPath)
+		if err != nil {
+			fatal(err)
+		}
+		tc2, err := c.TrainerConfig()
+		if err != nil {
+			fatal(err)
+		}
+		tc = tc2
+	} else {
+		topo, err := topology.Env(topology.EnvName(*env), *nodes)
+		if err != nil {
+			fatal(err)
+		}
+		tc = trainer.Config{
+			Topo: topo, Spec: model.Group(*group).Spec,
+			TensorSize: *tensor, PipelineSize: *pipe,
+			Framework: trainer.Framework(*framework),
+		}
+	}
+
+	rep, err := trainer.Simulate(tc)
+	if err != nil {
+		fatal(err)
+	}
+	tb := metrics.New("metric", "value")
+	tb.AddF("framework", string(rep.Framework))
+	tb.AddF("environment", rep.Env)
+	tb.AddF("degrees (t,p,d)", fmt.Sprintf("%d,%d,%d", rep.Degrees.T, rep.Degrees.P, rep.Degrees.D))
+	tb.AddF("partition", rep.Partition.String())
+	tb.AddF("micro-batches", fmt.Sprint(rep.Micro))
+	tb.AddF("iteration (s)", rep.IterSeconds)
+	tb.AddF("TFLOPS/GPU", rep.TFLOPS)
+	tb.AddF("throughput (samples/s)", rep.Throughput)
+	tb.AddF("grads reduce-scatter (ms)", rep.ReduceScatterSeconds*1000)
+	fmt.Print(tb.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "holmes-sim:", err)
+	os.Exit(1)
+}

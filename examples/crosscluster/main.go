@@ -1,0 +1,57 @@
+// Cross-cluster scale-out: the paper's motivating scenario. An
+// organization owns three aging clusters — InfiniBand, RoCE, and a
+// commodity Ethernet pool — none big enough alone for a 7.5B-parameter
+// model at the desired batch size. Holmes joins them without any
+// re-cabling by pipelining across clusters and searching the pipeline
+// degree.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"holmes"
+)
+
+func main() {
+	topo, err := holmes.BuildTopology(
+		holmes.ClusterSpec{Name: "hq-ib", NIC: holmes.InfiniBand, Nodes: 4},
+		holmes.ClusterSpec{Name: "lab-roce", NIC: holmes.RoCE, Nodes: 2},
+		holmes.ClusterSpec{Name: "legacy-eth", NIC: holmes.Ethernet, Nodes: 2},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(holmes.Describe(topo))
+
+	spec := holmes.ParameterGroup(3) // GPT-7.5B
+	fmt.Println(spec)
+
+	// Let the planner pick the pipeline degree for this 64-GPU federation.
+	plan, err := holmes.AutoPlan(topo, spec, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n--- best plan found ---")
+	fmt.Print(plan.Describe())
+
+	// What each individual cluster could do alone (same model, pipeline
+	// within the cluster where it fits).
+	fmt.Println("\n--- individual clusters for comparison ---")
+	for _, alone := range []struct {
+		name string
+		topo *holmes.Topology
+		t, p int
+	}{
+		{"hq-ib alone (4 nodes)", holmes.IB(4), 1, 4},
+		{"lab-roce alone (2 nodes)", holmes.RoCECluster(2), 1, 2},
+	} {
+		rep, err := holmes.Simulate(alone.topo, spec, alone.t, alone.p, holmes.FrameworkHolmes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-26s %.1f TFLOPS/GPU  %.2f samples/s\n", alone.name, rep.TFLOPS, rep.Throughput)
+	}
+	fmt.Printf("%-26s %.1f TFLOPS/GPU  %.2f samples/s\n",
+		"federated (8 nodes)", plan.Report.TFLOPS, plan.Report.Throughput)
+}

@@ -1,0 +1,52 @@
+// Framework comparison: the Figure 6 experiment as a library user would
+// run it — GPT-7.5B on 8 hybrid nodes under four training-framework
+// behaviour profiles, plus the Figure 7 scaling sweep.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"holmes"
+)
+
+func main() {
+	topo := holmes.Hybrid(8)
+	spec := holmes.ParameterGroup(3)
+	fmt.Print(holmes.Describe(topo))
+	fmt.Println(spec)
+
+	fmt.Printf("\n%-22s %10s %12s\n", "framework", "TFLOPS", "samples/s")
+	frameworks := []holmes.Framework{
+		holmes.FrameworkMegatronDeepSpeed,
+		holmes.FrameworkMegatronLM,
+		holmes.FrameworkMegatronLLaMA,
+		holmes.FrameworkHolmes,
+	}
+	var holmesThpt, lmThpt float64
+	for _, fw := range frameworks {
+		rep, err := holmes.Simulate(topo, spec, 1, 4, fw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %10.1f %12.2f\n", fw, rep.TFLOPS, rep.Throughput)
+		switch fw {
+		case holmes.FrameworkHolmes:
+			holmesThpt = rep.Throughput
+		case holmes.FrameworkMegatronLM:
+			lmThpt = rep.Throughput
+		}
+	}
+	fmt.Printf("\nHolmes over Megatron-LM: %.2fx (paper: ~1.4x)\n", holmesThpt/lmThpt)
+
+	// Scaling sweep (Figure 7's shape) on the 39.1B model.
+	fmt.Printf("\nscaling GPT-39.1B:\n%-8s %12s\n", "nodes", "samples/s")
+	big := holmes.GPT39B(1536)
+	for _, nodes := range []int{4, 8, 12} {
+		rep, err := holmes.Simulate(holmes.Hybrid(nodes), big, 1, 4, holmes.FrameworkHolmes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d %12.2f\n", nodes, rep.Throughput)
+	}
+}

@@ -1,0 +1,45 @@
+// Partition study: how the Self-Adapting Pipeline Partition (Eq. 4–5)
+// divides layers as the α hyper-parameter sweeps, and what each division
+// costs end to end — the mechanism behind Figure 5.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"holmes"
+)
+
+func main() {
+	topo := holmes.Hybrid(8)
+	spec := holmes.ParameterGroup(1) // 30 layers, pipeline size 2
+	fmt.Print(holmes.Describe(topo))
+	fmt.Println(spec)
+
+	// Uniform baseline.
+	uni := holmes.DefaultOptions(holmes.FrameworkHolmes)
+	uni.SelfAdaptingPartition = false
+	base, err := holmes.PlanWith(topo, spec, 1, 2, holmes.FrameworkHolmes, &uni)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%-12s %-22s %10s %12s\n", "alpha", "partition", "TFLOPS", "samples/s")
+	fmt.Printf("%-12s %-22s %10.1f %12.2f\n", "uniform", base.Partition.String(),
+		base.Report.TFLOPS, base.Report.Throughput)
+
+	// α sweep around the paper's 1.05.
+	for _, alpha := range []float64{0.95, 1.00, 1.05, 1.10, 1.20} {
+		opt := holmes.DefaultOptions(holmes.FrameworkHolmes)
+		opt.Alpha = alpha
+		plan, err := holmes.PlanWith(topo, spec, 1, 2, holmes.FrameworkHolmes, &opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		marker := ""
+		if alpha == 1.05 {
+			marker = "  <- paper setting"
+		}
+		fmt.Printf("%-12.2f %-22s %10.1f %12.2f%s\n", alpha, plan.Partition.String(),
+			plan.Report.TFLOPS, plan.Report.Throughput, marker)
+	}
+}

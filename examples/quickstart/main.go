@@ -1,0 +1,40 @@
+// Quickstart: plan and simulate training a GPT-3.6B model on a small
+// hybrid deployment — one InfiniBand cluster plus one RoCE cluster joined
+// by Ethernet — and compare against naively treating the machines as one
+// Ethernet pool.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"holmes"
+)
+
+func main() {
+	// Two clusters that cannot share an RDMA fabric.
+	topo := holmes.Hybrid(4) // 2 InfiniBand nodes + 2 RoCE nodes
+	spec := holmes.ParameterGroup(1)
+	fmt.Print(holmes.Describe(topo))
+	fmt.Println(spec)
+
+	// Holmes: pipeline across clusters, data parallelism on each RDMA
+	// fabric, self-adapting partition, overlapped optimizer.
+	plan, err := holmes.Plan(topo, spec, 1, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n--- Holmes plan ---")
+	fmt.Print(plan.Describe())
+
+	// The traditional alternative: one unified communication environment,
+	// which collapses to Ethernet because IB and RoCE are incompatible.
+	lm, err := holmes.Simulate(topo, spec, 1, 2, holmes.FrameworkMegatronLM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n--- Megatron-LM on the same machines ---")
+	fmt.Printf("%.1f TFLOPS/GPU, %.2f samples/s\n", lm.TFLOPS, lm.Throughput)
+
+	fmt.Printf("\nHolmes speedup: %.2fx\n", plan.Report.Throughput/lm.Throughput)
+}

@@ -1,0 +1,153 @@
+// Package holmes is the public facade of the Holmes reproduction: an
+// LLM-training scheduler for heterogeneous NIC environments (Yang et al.,
+// "Holmes: Towards Distributed Training Across Clusters with Heterogeneous
+// NIC Environment", ICPP 2024) together with the simulated cluster/network
+// substrate the experiments run on.
+//
+// Typical use:
+//
+//	topo := holmes.Hybrid(8)                    // 4 IB + 4 RoCE nodes
+//	spec := holmes.ParameterGroup(3)            // GPT-7.5B, Table 2
+//	plan, err := holmes.Plan(topo, spec, 1, 4)  // t=1, p=4
+//	fmt.Print(plan.Describe())
+//
+// The heavy lifting lives in the internal packages (topology, netsim,
+// parallel, partition, pipeline, comm, trainer, core); this package
+// re-exports the stable surface.
+package holmes
+
+import (
+	"fmt"
+
+	"holmes/internal/core"
+	"holmes/internal/experiments"
+	"holmes/internal/model"
+	"holmes/internal/topology"
+	"holmes/internal/trainer"
+)
+
+// Re-exported types: aliases keep the public API thin while the
+// implementations stay in internal packages.
+type (
+	// Topology is the cluster/node/GPU landscape to schedule over.
+	Topology = topology.Topology
+	// ClusterSpec describes one cluster for BuildTopology.
+	ClusterSpec = topology.ClusterSpec
+	// NICType enumerates InfiniBand, RoCE, Ethernet.
+	NICType = topology.NICType
+	// ModelSpec is a transformer architecture plus training shape.
+	ModelSpec = model.Spec
+	// TrainingPlan is a concrete Holmes scheduling decision with its
+	// simulated performance report.
+	TrainingPlan = core.Plan
+	// Report carries TFLOPS / throughput / iteration time of a simulation.
+	Report = trainer.Report
+	// Framework selects a behaviour profile (Holmes, Megatron-LM, ...).
+	Framework = trainer.Framework
+	// Options are the mechanism knobs of a framework profile.
+	Options = trainer.Options
+	// ExperimentRow is one paper-vs-measured result row.
+	ExperimentRow = experiments.Row
+)
+
+// NIC technologies.
+const (
+	InfiniBand = topology.InfiniBand
+	RoCE       = topology.RoCE
+	Ethernet   = topology.Ethernet
+)
+
+// Framework profiles.
+const (
+	FrameworkHolmes            = trainer.Holmes
+	FrameworkMegatronLM        = trainer.MegatronLM
+	FrameworkMegatronDeepSpeed = trainer.MegatronDeepSpeed
+	FrameworkMegatronLLaMA     = trainer.MegatronLLaMA
+)
+
+// IB builds a homogeneous InfiniBand cluster of n nodes (8 GPUs each).
+func IB(n int) *Topology { return topology.IBEnv(n) }
+
+// RoCECluster builds a homogeneous RoCE cluster of n nodes.
+func RoCECluster(n int) *Topology { return topology.RoCEEnv(n) }
+
+// EthernetCluster builds a commodity Ethernet-only cluster of n nodes.
+func EthernetCluster(n int) *Topology { return topology.EthernetEnv(n) }
+
+// Hybrid builds the paper's hybrid environment: n/2 InfiniBand nodes plus
+// n/2 RoCE nodes joined only by Ethernet (n must be even).
+func Hybrid(n int) *Topology { return topology.HybridEnv(n) }
+
+// BuildTopology assembles an arbitrary multi-cluster topology.
+func BuildTopology(clusters ...ClusterSpec) (*Topology, error) {
+	return topology.Build(topology.Spec{Clusters: clusters})
+}
+
+// ParameterGroup returns Table 2's parameter group id (1–4).
+func ParameterGroup(id int) ModelSpec { return model.Group(id).Spec }
+
+// GPT39B returns the 39.1-billion-parameter scalability model (Figure 7).
+func GPT39B(globalBatch int) ModelSpec { return model.GPT39B(globalBatch) }
+
+// Plan builds a Holmes training plan for the topology with tensor degree
+// t and pipeline degree p, simulating one iteration for its report.
+func Plan(topo *Topology, spec ModelSpec, t, p int) (*TrainingPlan, error) {
+	pl, err := core.NewPlanner(topo, spec)
+	if err != nil {
+		return nil, err
+	}
+	return pl.Plan(t, p)
+}
+
+// PlanWith is Plan under a specific framework profile and option set
+// (opt may be nil for the profile defaults).
+func PlanWith(topo *Topology, spec ModelSpec, t, p int, fw Framework, opt *Options) (*TrainingPlan, error) {
+	pl, err := core.NewPlanner(topo, spec)
+	if err != nil {
+		return nil, err
+	}
+	pl.Framework = fw
+	pl.Opt = opt
+	return pl.Plan(t, p)
+}
+
+// AutoPlan searches the pipeline degree for the best plan at tensor
+// degree t.
+func AutoPlan(topo *Topology, spec ModelSpec, t int) (*TrainingPlan, error) {
+	pl, err := core.NewPlanner(topo, spec)
+	if err != nil {
+		return nil, err
+	}
+	return pl.SearchPipeline(t)
+}
+
+// Simulate runs one training iteration of the given framework and
+// returns its performance report.
+func Simulate(topo *Topology, spec ModelSpec, t, p int, fw Framework) (Report, error) {
+	return trainer.Simulate(trainer.Config{
+		Topo: topo, Spec: spec, TensorSize: t, PipelineSize: p, Framework: fw,
+	})
+}
+
+// RunExperiment regenerates a paper table or figure by id: "table1",
+// "table3", "table4", "fig4", "fig5", "fig6", "fig7".
+func RunExperiment(id string) ([]ExperimentRow, error) {
+	return experiments.Run(id)
+}
+
+// Experiments lists the experiment ids in paper order.
+func Experiments() []string { return append([]string(nil), experiments.Names...) }
+
+// DefaultOptions returns a framework's profile for customization.
+func DefaultOptions(fw Framework) Options { return trainer.DefaultOptions(fw) }
+
+// Version identifies the reproduction release.
+const Version = "1.0.0"
+
+// Describe renders a short summary of a topology (clusters, NICs, GPUs).
+func Describe(topo *Topology) string {
+	if topo == nil {
+		return "<nil topology>"
+	}
+	return fmt.Sprint(topo)
+}

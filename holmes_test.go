@@ -1,0 +1,87 @@
+package holmes
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	topo := Hybrid(4)
+	spec := ParameterGroup(1)
+	plan, err := Plan(topo, spec, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Report.TFLOPS <= 0 || plan.Report.Throughput <= 0 {
+		t.Fatalf("empty report: %+v", plan.Report)
+	}
+	if !strings.Contains(plan.Describe(), "Holmes plan") {
+		t.Fatal("Describe() missing header")
+	}
+}
+
+func TestBuildTopologyPublic(t *testing.T) {
+	topo, err := BuildTopology(
+		ClusterSpec{NIC: InfiniBand, Nodes: 2},
+		ClusterSpec{NIC: RoCE, Nodes: 1},
+		ClusterSpec{NIC: Ethernet, Nodes: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumClusters() != 3 || topo.NumDevices() != 32 {
+		t.Fatalf("topology: %s", Describe(topo))
+	}
+}
+
+func TestAutoPlanBeatsWorstCase(t *testing.T) {
+	topo := Hybrid(4)
+	spec := ParameterGroup(1)
+	auto, err := AutoPlan(topo, spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := Simulate(topo, spec, 1, auto.Degrees.P, FrameworkMegatronLM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Report.Throughput <= lm.Throughput {
+		t.Fatalf("auto Holmes plan (%.1f) must beat Megatron-LM (%.1f)",
+			auto.Report.Throughput, lm.Throughput)
+	}
+}
+
+func TestPlanWithOverrides(t *testing.T) {
+	opt := DefaultOptions(FrameworkHolmes)
+	opt.SelfAdaptingPartition = false
+	plan, err := PlanWith(Hybrid(4), ParameterGroup(1), 1, 2, FrameworkHolmes, &opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan.Partition.Strategy, "uniform") {
+		t.Fatalf("override ignored: %v", plan.Partition)
+	}
+}
+
+func TestRunExperimentDispatch(t *testing.T) {
+	rows, err := RunExperiment("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("table1 rows = %d", len(rows))
+	}
+	if _, err := RunExperiment("bogus"); err == nil {
+		t.Fatal("bogus experiment accepted")
+	}
+	if len(Experiments()) != 7 {
+		t.Fatalf("experiment list = %v", Experiments())
+	}
+}
+
+func TestGPT39BPublic(t *testing.T) {
+	spec := GPT39B(1536)
+	if spec.Layers != 48 || spec.Hidden != 8192 {
+		t.Fatalf("GPT39B shape wrong: %+v", spec)
+	}
+}

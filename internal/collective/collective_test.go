@@ -1,0 +1,220 @@
+package collective
+
+import (
+	"math"
+	"testing"
+
+	"holmes/internal/netsim"
+	"holmes/internal/sim"
+	"holmes/internal/topology"
+)
+
+func fabric(topo *topology.Topology) (*sim.Engine, *netsim.Fabric) {
+	eng := sim.NewEngine()
+	return eng, netsim.New(eng, topo, netsim.DefaultParams())
+}
+
+func groupOfNodeLeads(topo *topology.Topology, nodes int) []int {
+	var ranks []int
+	for i := 0; i < nodes; i++ {
+		ranks = append(ranks, topo.Node(i).Devices[0].Rank)
+	}
+	return ranks
+}
+
+func TestCostAllReduceSingletonIsFree(t *testing.T) {
+	_, fab := fabric(topology.IBEnv(1))
+	if got := CostAllReduce(fab, []int{3}, 1e9, netsim.RDMA); got != 0 {
+		t.Fatalf("singleton all-reduce = %v", got)
+	}
+}
+
+func TestCostAllReduceIsTwiceReduceScatter(t *testing.T) {
+	topo := topology.IBEnv(4)
+	_, fab := fabric(topo)
+	g := groupOfNodeLeads(topo, 4)
+	ar := CostAllReduce(fab, g, 1e9, netsim.RDMA)
+	rs := CostReduceScatter(fab, g, 1e9, netsim.RDMA)
+	ag := CostAllGather(fab, g, 1e9, netsim.RDMA)
+	if math.Abs(ar-(rs+ag)) > 1e-12 {
+		t.Fatalf("all-reduce %v != reduce-scatter %v + all-gather %v", ar, rs, ag)
+	}
+}
+
+func TestCostOrderingAcrossNICs(t *testing.T) {
+	bytes := 2e9
+	group := func(topo *topology.Topology) []int { return groupOfNodeLeads(topo, 4) }
+
+	_, fabIB := fabric(topology.IBEnv(4))
+	_, fabRo := fabric(topology.RoCEEnv(4))
+	_, fabEth := fabric(topology.EthernetEnv(4))
+
+	ib := CostAllReduce(fabIB, group(fabIB.Topo), bytes, netsim.RDMA)
+	ro := CostAllReduce(fabRo, group(fabRo.Topo), bytes, netsim.RDMA)
+	eth := CostAllReduce(fabEth, group(fabEth.Topo), bytes, netsim.RDMA)
+	if !(ib < ro && ro < eth) {
+		t.Fatalf("cost ordering violated: ib=%v roce=%v eth=%v", ib, ro, eth)
+	}
+}
+
+func TestCrossClusterGroupPaysEthernet(t *testing.T) {
+	topo := topology.HybridEnv(4)
+	_, fab := fabric(topo)
+	// A group spanning both clusters degrades its slowest edges to Ethernet.
+	span := []int{0, 8, 16, 24} // 2 IB nodes + 2 RoCE nodes
+	within := []int{0, 8}       // IB only
+	spanCost := CostAllReduce(fab, span, 1e9, netsim.RDMA)
+	withinCost := CostAllReduce(fab, within, 1e9, netsim.RDMA)
+	if spanCost < 10*withinCost {
+		t.Fatalf("cross-cluster all-reduce %v should dwarf intra-IB %v", spanCost, withinCost)
+	}
+}
+
+func TestRunMatchesCostForLoneCollective(t *testing.T) {
+	topo := topology.IBEnv(4)
+	eng, fab := fabric(topo)
+	g := groupOfNodeLeads(topo, 4)
+	bytes := 8e8
+	var done sim.Time = -1
+	RunAllReduce(eng, fab, g, bytes, netsim.RDMA, func() { done = eng.Now() })
+	eng.Run()
+	want := CostAllReduce(fab, g, bytes, netsim.RDMA)
+	// The DES pays per-round latency via flow admission; allow small slack.
+	if done < want*0.99 || done > want*1.2 {
+		t.Fatalf("DES all-reduce %v vs analytic %v", done, want)
+	}
+}
+
+func TestRunReduceScatterShorterThanAllReduce(t *testing.T) {
+	topo := topology.RoCEEnv(4)
+	eng, fab := fabric(topo)
+	g := groupOfNodeLeads(topo, 4)
+	var rsT, arT sim.Time
+	RunReduceScatter(eng, fab, g, 1e9, netsim.RDMA, func() { rsT = eng.Now() })
+	eng.Run()
+	eng.Reset()
+	fab2 := netsim.New(eng, topo, netsim.DefaultParams())
+	RunAllReduce(eng, fab2, g, 1e9, netsim.RDMA, func() { arT = eng.Now() })
+	eng.Run()
+	if rsT >= arT {
+		t.Fatalf("reduce-scatter %v must be faster than all-reduce %v", rsT, arT)
+	}
+	if ratio := rsT / arT; math.Abs(ratio-0.5) > 0.1 {
+		t.Fatalf("reduce-scatter/all-reduce ratio %v, want ~0.5", ratio)
+	}
+}
+
+func TestConcurrentRingsContend(t *testing.T) {
+	// Two all-reduces over the same nodes take about twice as long as one:
+	// they share the per-node NIC links.
+	topo := topology.IBEnv(2)
+	eng, fab := fabric(topo)
+	g1 := []int{0, 8}
+	g2 := []int{1, 9}
+	bytes := 1e9
+	var lone sim.Time
+	RunAllReduce(eng, fab, g1, bytes, netsim.RDMA, func() { lone = eng.Now() })
+	eng.Run()
+
+	eng.Reset()
+	fab = netsim.New(eng, topo, netsim.DefaultParams())
+	var wg sim.WaitGroup
+	wg.Add(2)
+	var both sim.Time
+	done := func() { wg.Done() }
+	RunAllReduce(eng, fab, g1, bytes, netsim.RDMA, done)
+	RunAllReduce(eng, fab, g2, bytes, netsim.RDMA, done)
+	wg.OnZero(func() { both = eng.Now() })
+	eng.Run()
+
+	if both < lone*1.8 || both > lone*2.3 {
+		t.Fatalf("two concurrent rings took %v, lone ring %v (want ~2x)", both, lone)
+	}
+}
+
+func TestBroadcastCheaperThanAllReduce(t *testing.T) {
+	topo := topology.IBEnv(4)
+	_, fab := fabric(topo)
+	g := groupOfNodeLeads(topo, 4)
+	bc := CostBroadcast(fab, g, 1e9, netsim.RDMA)
+	ar := CostAllReduce(fab, g, 1e9, netsim.RDMA)
+	if bc >= ar {
+		t.Fatalf("broadcast %v should beat all-reduce %v", bc, ar)
+	}
+}
+
+func TestSendRecvCost(t *testing.T) {
+	topo := topology.HybridEnv(4)
+	_, fab := fabric(topo)
+	// Cross-cluster P2P is the pipeline-parallel pattern; it must run at
+	// Ethernet speed.
+	got := CostSendRecv(fab, 0, 16, 1e8, netsim.Ether)
+	ethBW := fab.PairBandwidth(0, 16, netsim.Ether)
+	want := fab.Latency(0, 16, netsim.Ether) + 1e8/ethBW
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("p2p cost = %v, want %v", got, want)
+	}
+}
+
+func TestCostDispatch(t *testing.T) {
+	topo := topology.IBEnv(2)
+	_, fab := fabric(topo)
+	g := []int{0, 8}
+	for _, op := range []Op{AllReduce, ReduceScatter, AllGather, Broadcast} {
+		if c := Cost(fab, op, g, 1e6, netsim.RDMA); c <= 0 {
+			t.Fatalf("%v cost = %v", op, c)
+		}
+	}
+	if c := Cost(fab, SendRecv, g, 1e6, netsim.Ether); c <= 0 {
+		t.Fatal("send-recv cost must be positive")
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	topo := topology.IBEnv(1)
+	_, fab := fabric(topo)
+	for name, fn := range map[string]func(){
+		"empty":     func() { CostAllReduce(fab, nil, 1, netsim.RDMA) },
+		"duplicate": func() { CostAllReduce(fab, []int{1, 1}, 1, netsim.RDMA) },
+		"sendrecv":  func() { Cost(fab, SendRecv, []int{0, 1, 2}, 1, netsim.Ether) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s group did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	want := map[Op]string{
+		AllReduce:     "all-reduce",
+		ReduceScatter: "reduce-scatter",
+		AllGather:     "all-gather",
+		Broadcast:     "broadcast",
+		SendRecv:      "send-recv",
+	}
+	for op, s := range want {
+		if op.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", int(op), op.String(), s)
+		}
+	}
+}
+
+func TestRingKeepsNodeNeighborsAdjacent(t *testing.T) {
+	// An unsorted group must still form a rank-ordered ring so intra-node
+	// pairs ride NVLink: cost with shuffled input equals cost with sorted
+	// input.
+	topo := topology.IBEnv(2)
+	_, fab := fabric(topo)
+	sorted := []int{0, 1, 8, 9}
+	shuffled := []int{9, 0, 8, 1}
+	a := CostAllReduce(fab, sorted, 1e9, netsim.RDMA)
+	b := CostAllReduce(fab, shuffled, 1e9, netsim.RDMA)
+	if a != b {
+		t.Fatalf("ring must canonicalize order: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,117 @@
+package collective
+
+import (
+	"math"
+	"testing"
+
+	"holmes/internal/netsim"
+	"holmes/internal/sim"
+	"holmes/internal/topology"
+)
+
+func TestFluidMatchesSteppedLoneAllReduce(t *testing.T) {
+	// With no competing traffic, the fluid all-reduce and the stepped
+	// all-reduce should agree closely: the fluid model removes only the
+	// per-round latency barriers.
+	topo := topology.IBEnv(4)
+	g := groupOfNodeLeads(topo, 4)
+	bytes := 2e9
+
+	eng := sim.NewEngine()
+	fab := netsim.New(eng, topo, netsim.DefaultParams())
+	var stepped sim.Time
+	RunAllReduce(eng, fab, g, bytes, netsim.RDMA, func() { stepped = eng.Now() })
+	eng.Run()
+
+	eng.Reset()
+	fab = netsim.New(eng, topo, netsim.DefaultParams())
+	var fluid sim.Time
+	RunAllReduceFluid(eng, fab, g, bytes, netsim.RDMA, func() { fluid = eng.Now() })
+	eng.Run()
+
+	if math.Abs(fluid-stepped)/stepped > 0.05 {
+		t.Fatalf("fluid %v vs stepped %v diverge beyond 5%%", fluid, stepped)
+	}
+	if fluid > stepped {
+		t.Fatalf("fluid (%v) must not exceed stepped (%v): it only removes barriers", fluid, stepped)
+	}
+}
+
+func TestFluidReduceScatterHalfOfAllReduce(t *testing.T) {
+	topo := topology.RoCEEnv(4)
+	g := groupOfNodeLeads(topo, 4)
+	run := func(f func(*sim.Engine, *netsim.Fabric, []int, float64, netsim.Class, func())) sim.Time {
+		eng := sim.NewEngine()
+		fab := netsim.New(eng, topo, netsim.DefaultParams())
+		var end sim.Time
+		f(eng, fab, g, 1e9, netsim.RDMA, func() { end = eng.Now() })
+		eng.Run()
+		return end
+	}
+	rs := run(RunReduceScatterFluid)
+	ar := run(RunAllReduceFluid)
+	ag := run(RunAllGatherFluid)
+	if math.Abs(rs/ar-0.5) > 0.02 {
+		t.Fatalf("fluid RS/AR = %v, want ~0.5", rs/ar)
+	}
+	if rs != ag {
+		t.Fatalf("fluid RS (%v) and AG (%v) must match", rs, ag)
+	}
+}
+
+func TestFluidSingletonAndZeroComplete(t *testing.T) {
+	topo := topology.IBEnv(1)
+	eng := sim.NewEngine()
+	fab := netsim.New(eng, topo, netsim.DefaultParams())
+	calls := 0
+	RunAllReduceFluid(eng, fab, []int{2}, 1e9, netsim.RDMA, func() { calls++ })
+	RunRingFluid(eng, fab, []int{0, 1}, 0, netsim.Intra, func() { calls++ })
+	eng.Run()
+	if calls != 2 {
+		t.Fatalf("degenerate fluid collectives completed %d/2", calls)
+	}
+}
+
+func TestFluidRingsShareFairly(t *testing.T) {
+	// Two fluid all-reduces over the same two nodes take ~2x one.
+	topo := topology.IBEnv(2)
+	one := func() sim.Time {
+		eng := sim.NewEngine()
+		fab := netsim.New(eng, topo, netsim.DefaultParams())
+		var end sim.Time
+		RunAllReduceFluid(eng, fab, []int{0, 8}, 1e9, netsim.RDMA, func() { end = eng.Now() })
+		eng.Run()
+		return end
+	}()
+	both := func() sim.Time {
+		eng := sim.NewEngine()
+		fab := netsim.New(eng, topo, netsim.DefaultParams())
+		var wg sim.WaitGroup
+		wg.Add(2)
+		var end sim.Time
+		RunAllReduceFluid(eng, fab, []int{0, 8}, 1e9, netsim.RDMA, wg.Done)
+		RunAllReduceFluid(eng, fab, []int{1, 9}, 1e9, netsim.RDMA, wg.Done)
+		wg.OnZero(func() { end = eng.Now() })
+		eng.Run()
+		return end
+	}()
+	if ratio := both / one; math.Abs(ratio-2) > 0.1 {
+		t.Fatalf("two fluid rings / one = %v, want ~2", ratio)
+	}
+}
+
+func TestFluidCrossClusterRidesEthernet(t *testing.T) {
+	topo := topology.HybridEnv(4)
+	eng := sim.NewEngine()
+	fab := netsim.New(eng, topo, netsim.DefaultParams())
+	// Group spans clusters: the cluster-crossing edges run at Ethernet
+	// speed and dominate.
+	var end sim.Time
+	RunAllReduceFluid(eng, fab, []int{0, 8, 16, 24}, 1e9, netsim.RDMA, func() { end = eng.Now() })
+	eng.Run()
+	ethBW := fab.PairBandwidth(8, 16, netsim.Ether)
+	minTime := (2.0 * 3 / 4 * 1e9) / ethBW
+	if end < minTime {
+		t.Fatalf("cross-cluster fluid ring %v beat the Ethernet bound %v", end, minTime)
+	}
+}

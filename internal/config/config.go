@@ -1,0 +1,162 @@
+// Package config defines the JSON experiment configuration consumed by
+// cmd/holmes-sim, mapping directly onto the topology, model, and trainer
+// options.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"holmes/internal/model"
+	"holmes/internal/topology"
+	"holmes/internal/trainer"
+)
+
+// ClusterConfig describes one cluster.
+type ClusterConfig struct {
+	Name  string `json:"name,omitempty"`
+	NIC   string `json:"nic"` // "InfiniBand" | "RoCE" | "Ethernet"
+	Nodes int    `json:"nodes"`
+}
+
+// ModelConfig describes the model; either a parameter Group (1–4) or an
+// explicit architecture.
+type ModelConfig struct {
+	Group       int `json:"group,omitempty"`
+	Layers      int `json:"layers,omitempty"`
+	Hidden      int `json:"hidden,omitempty"`
+	Heads       int `json:"heads,omitempty"`
+	Vocab       int `json:"vocab,omitempty"`
+	SeqLen      int `json:"seq_len,omitempty"`
+	GlobalBatch int `json:"global_batch,omitempty"`
+	MicroBatch  int `json:"micro_batch,omitempty"`
+}
+
+// Config is a full experiment description.
+type Config struct {
+	Clusters     []ClusterConfig `json:"clusters"`
+	GPUsPerNode  int             `json:"gpus_per_node,omitempty"`
+	Model        ModelConfig     `json:"model"`
+	TensorSize   int             `json:"tensor_size"`
+	PipelineSize int             `json:"pipeline_size"`
+	Framework    string          `json:"framework,omitempty"` // default Holmes
+	// Optional component toggles (default: framework profile).
+	SelfAdapting *bool    `json:"self_adapting,omitempty"`
+	Overlapped   *bool    `json:"overlapped,omitempty"`
+	Alpha        *float64 `json:"alpha,omitempty"`
+}
+
+// Load parses a config from JSON.
+func Load(r io.Reader) (*Config, error) {
+	var c Config
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	return &c, nil
+}
+
+// LoadFile parses a config file.
+func LoadFile(path string) (*Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+func nicType(s string) (topology.NICType, error) {
+	switch s {
+	case "InfiniBand", "IB", "ib", "infiniband":
+		return topology.InfiniBand, nil
+	case "RoCE", "roce":
+		return topology.RoCE, nil
+	case "Ethernet", "ethernet", "eth":
+		return topology.Ethernet, nil
+	default:
+		return 0, fmt.Errorf("config: unknown NIC %q", s)
+	}
+}
+
+// Topology builds the configured topology.
+func (c *Config) Topology() (*topology.Topology, error) {
+	if len(c.Clusters) == 0 {
+		return nil, fmt.Errorf("config: no clusters")
+	}
+	spec := topology.Spec{GPUsPerNode: c.GPUsPerNode}
+	for _, cc := range c.Clusters {
+		nic, err := nicType(cc.NIC)
+		if err != nil {
+			return nil, err
+		}
+		spec.Clusters = append(spec.Clusters, topology.ClusterSpec{
+			Name: cc.Name, NIC: nic, Nodes: cc.Nodes,
+		})
+	}
+	return topology.Build(spec)
+}
+
+// Spec resolves the model specification.
+func (c *Config) Spec() (model.Spec, error) {
+	if c.Model.Group != 0 {
+		if c.Model.Group < 1 || c.Model.Group > 4 {
+			return model.Spec{}, fmt.Errorf("config: parameter group %d out of range", c.Model.Group)
+		}
+		return model.Group(c.Model.Group).Spec, nil
+	}
+	s := model.Spec{
+		Name:   "custom",
+		Layers: c.Model.Layers, Hidden: c.Model.Hidden, Heads: c.Model.Heads,
+		Vocab: c.Model.Vocab, SeqLen: c.Model.SeqLen,
+		GlobalBatch: c.Model.GlobalBatch, MicroBatch: c.Model.MicroBatch,
+	}
+	if s.Vocab == 0 {
+		s.Vocab = model.StdVocab
+	}
+	if s.SeqLen == 0 {
+		s.SeqLen = model.StdSeqLen
+	}
+	if s.MicroBatch == 0 {
+		s.MicroBatch = 4
+	}
+	return s, s.Validate()
+}
+
+// TrainerConfig resolves the full trainer configuration.
+func (c *Config) TrainerConfig() (trainer.Config, error) {
+	topo, err := c.Topology()
+	if err != nil {
+		return trainer.Config{}, err
+	}
+	spec, err := c.Spec()
+	if err != nil {
+		return trainer.Config{}, err
+	}
+	fw := trainer.Framework(c.Framework)
+	if c.Framework == "" {
+		fw = trainer.Holmes
+	}
+	cfg := trainer.Config{
+		Topo: topo, Spec: spec,
+		TensorSize: c.TensorSize, PipelineSize: c.PipelineSize,
+		Framework: fw,
+	}
+	if c.SelfAdapting != nil || c.Overlapped != nil || c.Alpha != nil {
+		opt := trainer.DefaultOptions(fw)
+		if c.SelfAdapting != nil {
+			opt.SelfAdaptingPartition = *c.SelfAdapting
+		}
+		if c.Overlapped != nil {
+			opt.OverlappedOptimizer = *c.Overlapped
+		}
+		if c.Alpha != nil {
+			opt.Alpha = *c.Alpha
+		}
+		cfg.Opt = &opt
+	}
+	return cfg, nil
+}

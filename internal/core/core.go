@@ -1,0 +1,195 @@
+// Package core is the Holmes scheduler: the paper's primary contribution.
+// Given a hardware topology (clusters, nodes, NICs) and a model, it
+// produces a training plan that
+//
+//   - places pipeline-parallel groups across clusters so that every
+//     data-parallel group stays NIC-homogeneous (Cross-Cluster Pipeline
+//     Parallelism, §3.1);
+//   - selects a NIC per communication group (Automatic NIC Selection,
+//     §3.2);
+//   - divides model layers over stages by effective stage speed
+//     (Self-Adapting Pipeline Partition, §3.3, Eq. 4–5);
+//   - and can search the pipeline degree by simulating candidates.
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"holmes/internal/comm"
+	"holmes/internal/model"
+	"holmes/internal/parallel"
+	"holmes/internal/partition"
+	"holmes/internal/topology"
+	"holmes/internal/trainer"
+)
+
+// Planner builds and evaluates Holmes training plans.
+type Planner struct {
+	Topo *topology.Topology
+	Spec model.Spec
+	// Framework profile; defaults to Holmes.
+	Framework trainer.Framework
+	// Opt overrides the framework profile (nil = profile defaults).
+	Opt *trainer.Options
+}
+
+// Plan is one concrete scheduling decision.
+type Plan struct {
+	Degrees   parallel.Degrees
+	Assign    *parallel.Assignment
+	World     *comm.World
+	Partition partition.Result
+	// Report holds the simulated performance of the plan.
+	Report trainer.Report
+}
+
+// NewPlanner validates inputs and returns a planner.
+func NewPlanner(topo *topology.Topology, spec model.Spec) (*Planner, error) {
+	if topo == nil {
+		return nil, fmt.Errorf("core: nil topology")
+	}
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Planner{Topo: topo, Spec: spec, Framework: trainer.Holmes}, nil
+}
+
+// Plan builds the plan for fixed tensor and pipeline degrees, simulating
+// one iteration to fill in the performance report.
+func (pl *Planner) Plan(t, p int) (*Plan, error) {
+	n := pl.Topo.NumDevices()
+	if t <= 0 || p <= 0 || n%(t*p) != 0 {
+		return nil, fmt.Errorf("core: degrees t=%d p=%d do not tile %d devices", t, p, n)
+	}
+	deg := parallel.Degrees{T: t, P: p, D: n / (t * p)}
+	assign, err := parallel.New(n, pl.Topo.GPUsPerNode, deg)
+	if err != nil {
+		return nil, err
+	}
+	opt := trainer.DefaultOptions(pl.Framework)
+	if pl.Opt != nil {
+		opt = *pl.Opt
+	}
+	world, err := comm.BuildWorld(pl.Topo, assign, opt.NICSelection)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := trainer.Simulate(trainer.Config{
+		Topo: pl.Topo, Spec: pl.Spec,
+		TensorSize: t, PipelineSize: p,
+		Framework: pl.Framework, Opt: pl.Opt,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{
+		Degrees:   deg,
+		Assign:    assign,
+		World:     world,
+		Partition: rep.Partition,
+		Report:    rep,
+	}, nil
+}
+
+// SearchPipeline tries every feasible pipeline degree (divisors of the
+// node count whose micro-batching works out) at the given tensor degree
+// and returns the plan with the highest simulated throughput.
+func (pl *Planner) SearchPipeline(t int) (*Plan, error) {
+	n := pl.Topo.NumDevices()
+	nodes := pl.Topo.NumNodes()
+	var best *Plan
+	var firstErr error
+	for p := 1; p <= nodes; p++ {
+		if n%(t*p) != 0 || pl.Spec.Layers < p {
+			continue
+		}
+		d := n / (t * p)
+		if _, err := pl.Spec.MicroBatches(d); err != nil {
+			continue
+		}
+		plan, err := pl.Plan(t, p)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if best == nil || plan.Report.Throughput > best.Report.Throughput {
+			best = plan
+		}
+	}
+	if best == nil {
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		return nil, fmt.Errorf("core: no feasible pipeline degree for %d devices", n)
+	}
+	return best, nil
+}
+
+// CommunicationCost estimates the per-iteration communication volume each
+// group kind moves, in bytes — the objective of §2.3 ("minimize the
+// communication costs").
+func (pl *Planner) CommunicationCost(plan *Plan) map[comm.Kind]float64 {
+	spec := pl.Spec
+	d := plan.Degrees.D
+	m, err := spec.MicroBatches(d)
+	if err != nil {
+		m = 1
+	}
+	out := make(map[comm.Kind]float64)
+	// DP: ring all-reduce-equivalent traffic of the gradients per group.
+	calib := trainer.DefaultCalibration()
+	for _, g := range plan.World.DPGroups {
+		stage := plan.Assign.StageOf(g.Ranks[0])
+		params := float64(spec.ParamsPerLayer()*int64(plan.Partition.Layers[stage])) / float64(plan.Degrees.T)
+		out[comm.DP] += params * (calib.GradBytesPerParam + calib.ParamBytesPerParam) *
+			2 * float64(d-1) / float64(d)
+	}
+	// PP: activations and gradients per micro-batch per hop.
+	hopBytes := spec.ActivationMessageBytes() / float64(plan.Degrees.T)
+	out[comm.PP] = hopBytes * 2 * float64(plan.Degrees.P-1) * float64(m) * float64(len(plan.World.PPGroups))
+	// TP: broadcast/gather of activations per layer (zero when t = 1).
+	if plan.Degrees.T > 1 {
+		out[comm.TP] = spec.ActivationMessageBytes() * float64(m) * float64(spec.Layers) *
+			2 * float64(plan.Degrees.T-1) / float64(plan.Degrees.T) * float64(len(plan.World.TPGroups))
+	}
+	return out
+}
+
+// Describe renders the plan for operators: topology, degrees, per-group
+// NIC selections, partition, and predicted performance.
+func (p *Plan) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Holmes plan: t=%d p=%d d=%d\n", p.Degrees.T, p.Degrees.P, p.Degrees.D)
+	fmt.Fprintf(&b, "partition: %s\n", p.Partition)
+	nicCount := map[string]int{}
+	for _, g := range p.World.DPGroups {
+		nicCount[g.NIC.String()]++
+	}
+	fmt.Fprintf(&b, "data-parallel groups by NIC: %v\n", nicCount)
+	cross := 0
+	for _, g := range p.World.PPGroups {
+		if g.NIC == topology.Ethernet && g.CrossNode {
+			cross++
+		}
+	}
+	fmt.Fprintf(&b, "pipeline groups on Ethernet: %d/%d\n", cross, len(p.World.PPGroups))
+	fmt.Fprintf(&b, "predicted: %.1f TFLOPS/GPU, %.2f samples/s (iteration %.2fs)\n",
+		p.Report.TFLOPS, p.Report.Throughput, p.Report.IterSeconds)
+	return b.String()
+}
+
+// Speedup computes relative throughput of this plan against a baseline
+// plan (≥ 1 means this plan is faster).
+func (p *Plan) Speedup(baseline *Plan) float64 {
+	if baseline == nil || baseline.Report.Throughput == 0 {
+		return math.NaN()
+	}
+	return p.Report.Throughput / baseline.Report.Throughput
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTable1ShapeMatchesPaper(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("table1 has %d rows", len(rows))
+	}
+	get := func(label string) Row {
+		for _, r := range rows {
+			if r.Label == label {
+				return r
+			}
+		}
+		t.Fatalf("missing row %q", label)
+		return Row{}
+	}
+	ib, roce := get("InfiniBand"), get("RoCE")
+	eth, hyb := get("Ethernet"), get("Hybrid")
+	// Ordering: IB > RoCE > Hybrid > Ethernet (the paper's headline shape).
+	if !(ib.TFLOPS > roce.TFLOPS && roce.TFLOPS > hyb.TFLOPS && hyb.TFLOPS > eth.TFLOPS) {
+		t.Fatalf("ordering violated: IB=%.0f RoCE=%.0f Hybrid=%.0f Eth=%.0f",
+			ib.TFLOPS, roce.TFLOPS, hyb.TFLOPS, eth.TFLOPS)
+	}
+	// Calibration: every cell within 15%% of the paper.
+	for _, r := range rows {
+		if rel := math.Abs(r.TFLOPS-r.PaperTFLOPS) / r.PaperTFLOPS; rel > 0.15 {
+			t.Errorf("%s: %.1f TFLOPS vs paper %.1f (%.0f%% off)", r.Label, r.TFLOPS, r.PaperTFLOPS, rel*100)
+		}
+	}
+	// Hybrid recovers most of the RDMA advantage over Ethernet.
+	if gain := (hyb.TFLOPS - eth.TFLOPS) / (roce.TFLOPS - eth.TFLOPS); gain < 0.2 {
+		t.Errorf("hybrid recovers only %.0f%% of the RoCE-over-Ethernet gain", gain*100)
+	}
+}
+
+func TestFigure6OrderingMatchesPaper(t *testing.T) {
+	rows, err := Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("fig6 has %d rows", len(rows))
+	}
+	// Paper order: DeepSpeed < LM < LLaMA < Holmes.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Throughput <= rows[i-1].Throughput {
+			t.Fatalf("framework ordering violated at %s (%.1f) vs %s (%.1f)",
+				rows[i].Label, rows[i].Throughput, rows[i-1].Label, rows[i-1].Throughput)
+		}
+	}
+}
+
+func TestTable4Monotonicity(t *testing.T) {
+	rows, err := Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(label string) Row {
+		for _, r := range rows {
+			if r.Label == label {
+				return r
+			}
+		}
+		t.Fatalf("missing %q", label)
+		return Row{}
+	}
+	holmes := get("Holmes")
+	noSA := get("w/o Self-Adapting")
+	noOv := get("w/o Overlapped")
+	base := get("w/o Above Two")
+	lm := get("Megatron-LM")
+	if holmes.TFLOPS < noSA.TFLOPS-0.5 {
+		t.Errorf("removing self-adapting should not speed Holmes up: %.1f vs %.1f", holmes.TFLOPS, noSA.TFLOPS)
+	}
+	if holmes.TFLOPS <= noOv.TFLOPS {
+		t.Errorf("removing overlap should slow Holmes: %.1f vs %.1f", holmes.TFLOPS, noOv.TFLOPS)
+	}
+	if base.TFLOPS <= lm.TFLOPS {
+		t.Errorf("Holmes base must beat Megatron-LM: %.1f vs %.1f", base.TFLOPS, lm.TFLOPS)
+	}
+	if holmes.TFLOPS <= lm.TFLOPS*1.15 {
+		t.Errorf("Holmes should beat Megatron-LM by a wide margin: %.1f vs %.1f", holmes.TFLOPS, lm.TFLOPS)
+	}
+}

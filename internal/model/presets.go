@@ -1,0 +1,71 @@
+package model
+
+// Standard GPT configuration constants shared by all parameter groups
+// (GPT-3 family, as in §4.1 "we utilize standard model architectures such
+// as GPT-3").
+const (
+	StdVocab  = 51200
+	StdSeqLen = 2048
+)
+
+// ParameterGroup is one row of Table 2 plus the pipeline-parallel size the
+// paper pins to it.
+type ParameterGroup struct {
+	ID           int
+	Spec         Spec
+	PipelineSize int // pipeline parallel degree p
+	TensorSize   int // tensor parallel degree t (1 for all groups, §Table 2)
+}
+
+// gpt36 returns the 3.6-billion-parameter GPT architecture of groups 1–2.
+func gpt36(batch int) Spec {
+	return Spec{
+		Name:   "GPT-3.6B",
+		Layers: 30, Hidden: 3072, Heads: 32,
+		Vocab: StdVocab, SeqLen: StdSeqLen,
+		GlobalBatch: batch, MicroBatch: 4,
+	}
+}
+
+// gpt75 returns the 7.5-billion-parameter GPT architecture of groups 3–4.
+func gpt75(batch int) Spec {
+	return Spec{
+		Name:   "GPT-7.5B",
+		Layers: 36, Hidden: 4096, Heads: 32,
+		Vocab: StdVocab, SeqLen: StdSeqLen,
+		GlobalBatch: batch, MicroBatch: 4,
+	}
+}
+
+// GPT39B is the 39.1-billion-parameter model of the Figure 7 scalability
+// experiment (h=8192, l=48 gives 39.1B with the standard vocabulary).
+func GPT39B(batch int) Spec {
+	return Spec{
+		Name:   "GPT-39.1B",
+		Layers: 48, Hidden: 8192, Heads: 64,
+		Vocab: StdVocab, SeqLen: StdSeqLen,
+		GlobalBatch: batch, MicroBatch: 2,
+	}
+}
+
+// ParameterGroups returns Table 2: four parameter groups covering two
+// model sizes × two batch sizes. Tensor parallel size is 1 throughout
+// ("our optimization focuses on data parallelism and pipeline
+// parallelism").
+func ParameterGroups() []ParameterGroup {
+	return []ParameterGroup{
+		{ID: 1, Spec: gpt36(768), PipelineSize: 2, TensorSize: 1},
+		{ID: 2, Spec: gpt36(1536), PipelineSize: 2, TensorSize: 1},
+		{ID: 3, Spec: gpt75(1536), PipelineSize: 3, TensorSize: 1},
+		{ID: 4, Spec: gpt75(2688), PipelineSize: 3, TensorSize: 1},
+	}
+}
+
+// Group returns parameter group id (1-based), panicking on a bad id.
+func Group(id int) ParameterGroup {
+	gs := ParameterGroups()
+	if id < 1 || id > len(gs) {
+		panic("model: parameter group id out of range")
+	}
+	return gs[id-1]
+}

@@ -1,0 +1,75 @@
+package netsim
+
+import "fmt"
+
+// Fault injection.
+//
+// The paper assumes stable links and always-on devices and names fault
+// handling as future work (§1, Limitations). The simulator nevertheless
+// supports degrading and restoring links mid-run so schedulers can be
+// stress-tested: rates of in-flight flows are re-balanced immediately,
+// exactly as a real congestion event would slow transfers already on the
+// wire.
+
+// linkFor resolves a node's directional link of a class.
+func (f *Fabric) linkFor(nodeIdx int, class Class, inbound bool) *Link {
+	switch class {
+	case Intra:
+		return f.nodeIntra[nodeIdx]
+	case RDMA:
+		if inbound {
+			return f.nodeRDMAIn[nodeIdx]
+		}
+		return f.nodeRDMAOut[nodeIdx]
+	default:
+		if inbound {
+			return f.nodeEthIn[nodeIdx]
+		}
+		return f.nodeEthOut[nodeIdx]
+	}
+}
+
+// DegradeNode scales both directions of a node's links of the given class
+// by factor (0 < factor ≤ 1; e.g. 0.5 halves the bandwidth). In-flight
+// flows adjust immediately. Returns the previous capacities so callers
+// can restore them.
+func (f *Fabric) DegradeNode(nodeIdx int, class Class, factor float64) (prevOut, prevIn float64, err error) {
+	if nodeIdx < 0 || nodeIdx >= len(f.nodeEthOut) {
+		return 0, 0, fmt.Errorf("netsim: node %d out of range", nodeIdx)
+	}
+	if factor <= 0 || factor > 1 {
+		return 0, 0, fmt.Errorf("netsim: degradation factor %v outside (0,1]", factor)
+	}
+	out := f.linkFor(nodeIdx, class, false)
+	in := f.linkFor(nodeIdx, class, true)
+	prevOut, prevIn = out.Capacity, in.Capacity
+	out.Capacity *= factor
+	in.Capacity *= factor
+	f.rebalance()
+	return prevOut, prevIn, nil
+}
+
+// RestoreNode sets both directions of a node's links of the class back to
+// explicit capacities (as returned by DegradeNode).
+func (f *Fabric) RestoreNode(nodeIdx int, class Class, capOut, capIn float64) error {
+	if nodeIdx < 0 || nodeIdx >= len(f.nodeEthOut) {
+		return fmt.Errorf("netsim: node %d out of range", nodeIdx)
+	}
+	if capOut < 0 || capIn < 0 {
+		return fmt.Errorf("netsim: negative capacity")
+	}
+	f.linkFor(nodeIdx, Class(class), false).Capacity = capOut
+	f.linkFor(nodeIdx, Class(class), true).Capacity = capIn
+	f.rebalance()
+	return nil
+}
+
+// FailNode reduces a node's links of a class to a residual trickle (never
+// exactly zero: a zero-capacity link would stall flows forever rather
+// than erroring, and the fluid model has no notion of aborted transfers).
+// The residual keeps flows finishing — extremely slowly — which is how a
+// flapping-but-alive link behaves.
+func (f *Fabric) FailNode(nodeIdx int, class Class) (prevOut, prevIn float64, err error) {
+	const residual = 1e-6 // fraction of original capacity
+	return f.DegradeNode(nodeIdx, class, residual)
+}

@@ -1,0 +1,481 @@
+// Package netsim is a flow-level network simulator for the heterogeneous
+// NIC environments of the paper.
+//
+// It substitutes for the physical fabric of the authors' testbed (200 Gb/s
+// InfiniBand ×4 per IB node, 200 Gb/s RoCE ×2 per RoCE node, 25 Gb/s
+// Ethernet everywhere, NVLink inside nodes). Transfers are modelled as
+// fluid flows over a graph of capacitated links with max-min fair
+// bandwidth sharing and a per-technology message latency (the α in the
+// classic α–β cost model); rates are recomputed whenever a flow starts or
+// finishes, and flow completions drive the discrete-event engine.
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"holmes/internal/sim"
+	"holmes/internal/topology"
+)
+
+// Class selects which network a transfer rides on. The Holmes Automatic
+// NIC Selection component (§3.2) chooses a class per communication group.
+type Class int
+
+const (
+	// Intra uses the intra-node interconnect (NVLink or PCIe).
+	Intra Class = iota
+	// RDMA uses the node's RDMA NIC pool (InfiniBand or RoCE). Falls back
+	// to Ethernet when the endpoints do not share a compatible RDMA fabric.
+	RDMA
+	// Ether uses the commodity Ethernet NIC.
+	Ether
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Intra:
+		return "Intra"
+	case RDMA:
+		return "RDMA"
+	case Ether:
+		return "Ether"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Params holds technology constants. Bandwidth efficiencies capture
+// protocol overhead and (for RoCE) PFC/congestion-control losses observed
+// in practice; latencies are per-message α terms.
+type Params struct {
+	// Efficiency of each NIC technology: achievable fraction of line rate.
+	IBEff   float64
+	RoCEEff float64
+	EthEff  float64
+	// Per-message latency in seconds by technology.
+	IBLatency   float64
+	RoCELatency float64
+	EthLatency  float64
+	// Intra-node link bandwidth (bytes/s per direction) and latency.
+	NVLinkBytesPerSec float64
+	PCIeBytesPerSec   float64
+	IntraLatency      float64
+	// InterClusterGbps caps the Ethernet trunk between each pair of
+	// clusters; zero means non-blocking (node NICs are the constraint).
+	InterClusterGbps float64
+	// InterClusterGbpsPerNode adds trunk capacity proportional to the
+	// smaller cluster's node count: each node contributes an uplink to
+	// the inter-cluster path. Combined with InterClusterGbps when both
+	// are set.
+	InterClusterGbpsPerNode float64
+	// EthPerFlowBytesPerSec caps a single Ethernet flow's rate, modelling
+	// the single-stream throughput limit of TCP/socket transports on
+	// commodity NICs (NCCL's socket path tops out well below line rate on
+	// one connection). Zero means uncapped.
+	EthPerFlowBytesPerSec float64
+}
+
+// DefaultParams reflects measured characteristics of the technologies in
+// the paper's testbed. RoCE efficiency is markedly lower than InfiniBand:
+// lossless-Ethernet flow control (PFC) and DCQCN congestion control leave a
+// 200 Gb/s RoCE NIC well short of an equally-rated IB NIC, which together
+// with the 2-vs-4 NIC count reproduces the IB/RoCE gap in Table 1.
+func DefaultParams() Params {
+	return Params{
+		IBEff:                 0.93,
+		RoCEEff:               0.80,
+		EthEff:                0.88,
+		IBLatency:             2e-6,
+		RoCELatency:           5e-6,
+		EthLatency:            30e-6,
+		NVLinkBytesPerSec:     250e9, // A100 NVLink, usable per direction
+		PCIeBytesPerSec:       25e9,  // PCIe gen4 x16 effective
+		IntraLatency:          1.5e-6,
+		InterClusterGbps:      0, // non-blocking by default
+		EthPerFlowBytesPerSec: 0, // uncapped (NCCL multi-socket reaches line rate)
+	}
+}
+
+// Link is one capacitated, directed fluid link.
+type Link struct {
+	Name string
+	// Capacity in bytes per second.
+	Capacity float64
+	flows    map[*Flow]struct{}
+}
+
+func newLink(name string, capacity float64) *Link {
+	return &Link{Name: name, Capacity: capacity, flows: make(map[*Flow]struct{})}
+}
+
+// ActiveFlows reports how many flows currently traverse the link.
+func (l *Link) ActiveFlows() int { return len(l.flows) }
+
+// Flow is one in-flight transfer.
+type Flow struct {
+	Src, Dst int // global ranks
+	Class    Class
+	Bytes    float64
+
+	path      []*Link
+	remaining float64
+	rate      float64
+	cap       float64 // per-flow rate ceiling (Inf when uncapped)
+	updatedAt sim.Time
+	doneEv    *sim.Event
+	onDone    func()
+	fab       *Fabric
+	started   bool
+}
+
+// Rate returns the flow's current fair-share rate in bytes/s.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Fabric binds a topology to link state and an event engine.
+type Fabric struct {
+	Topo   *topology.Topology
+	Params Params
+	eng    *sim.Engine
+
+	// Per-node directional links.
+	nodeRDMAOut, nodeRDMAIn []*Link
+	nodeEthOut, nodeEthIn   []*Link
+	nodeIntra               []*Link
+	// Optional inter-cluster trunks, keyed by ordered cluster pair.
+	trunks map[[2]int]*Link
+
+	active map[*Flow]struct{}
+}
+
+// New creates a fabric over topo driven by eng.
+func New(eng *sim.Engine, topo *topology.Topology, p Params) *Fabric {
+	f := &Fabric{
+		Topo:   topo,
+		Params: p,
+		eng:    eng,
+		trunks: make(map[[2]int]*Link),
+		active: make(map[*Flow]struct{}),
+	}
+	for _, n := range topo.Nodes() {
+		rdmaBps := n.RDMAGbps() / 8 * 1e9 * f.rdmaEff(n.RDMAType())
+		ethBps := n.EthNIC.Gbps / 8 * 1e9 * p.EthEff
+		intraBps := p.NVLinkBytesPerSec
+		if n.Intra == topology.PCIe {
+			intraBps = p.PCIeBytesPerSec
+		}
+		id := n.Index
+		f.nodeRDMAOut = append(f.nodeRDMAOut, newLink(fmt.Sprintf("n%d.rdma.out", id), rdmaBps))
+		f.nodeRDMAIn = append(f.nodeRDMAIn, newLink(fmt.Sprintf("n%d.rdma.in", id), rdmaBps))
+		f.nodeEthOut = append(f.nodeEthOut, newLink(fmt.Sprintf("n%d.eth.out", id), ethBps))
+		f.nodeEthIn = append(f.nodeEthIn, newLink(fmt.Sprintf("n%d.eth.in", id), ethBps))
+		f.nodeIntra = append(f.nodeIntra, newLink(fmt.Sprintf("n%d.nvlink", id), intraBps))
+	}
+	if p.InterClusterGbps > 0 || p.InterClusterGbpsPerNode > 0 {
+		for i := range topo.Clusters {
+			for j := i + 1; j < len(topo.Clusters); j++ {
+				minNodes := len(topo.Clusters[i].Nodes)
+				if n := len(topo.Clusters[j].Nodes); n < minNodes {
+					minNodes = n
+				}
+				gbps := p.InterClusterGbps + p.InterClusterGbpsPerNode*float64(minNodes)
+				bps := gbps / 8 * 1e9 * p.EthEff
+				f.trunks[[2]int{i, j}] = newLink(fmt.Sprintf("trunk.c%d-c%d", i, j), bps)
+			}
+		}
+	}
+	return f
+}
+
+func (f *Fabric) rdmaEff(t topology.NICType) float64 {
+	switch t {
+	case topology.InfiniBand:
+		return f.Params.IBEff
+	case topology.RoCE:
+		return f.Params.RoCEEff
+	default:
+		return f.Params.EthEff
+	}
+}
+
+// EffectiveClass resolves the class actually usable between two ranks:
+// Intra when the ranks share a node; RDMA degrades to Ether when the
+// endpoints lack a shared RDMA fabric (different clusters, incompatible
+// NICs, or no RDMA at all) — the incompatibility rule of §1.
+func (f *Fabric) EffectiveClass(src, dst int, want Class) Class {
+	if f.Topo.SameNode(src, dst) {
+		return Intra
+	}
+	if want == RDMA && f.Topo.BestCommonNIC(src, dst).IsRDMA() {
+		return RDMA
+	}
+	return Ether
+}
+
+// Latency returns the per-message α term for a (src,dst,class) path.
+func (f *Fabric) Latency(src, dst int, class Class) float64 {
+	class = f.EffectiveClass(src, dst, class)
+	switch class {
+	case Intra:
+		return f.Params.IntraLatency
+	case RDMA:
+		if f.Topo.NodeOf(src).RDMAType() == topology.InfiniBand {
+			return f.Params.IBLatency
+		}
+		return f.Params.RoCELatency
+	default:
+		lat := f.Params.EthLatency
+		if !f.Topo.SameCluster(src, dst) {
+			lat *= 2 // extra hops through the inter-cluster path
+		}
+		return lat
+	}
+}
+
+// path returns the link sequence for a transfer.
+func (f *Fabric) path(src, dst int, class Class) []*Link {
+	class = f.EffectiveClass(src, dst, class)
+	sn, dn := f.Topo.Device(src).Node, f.Topo.Device(dst).Node
+	switch class {
+	case Intra:
+		return []*Link{f.nodeIntra[sn]}
+	case RDMA:
+		return []*Link{f.nodeRDMAOut[sn], f.nodeRDMAIn[dn]}
+	default:
+		p := []*Link{f.nodeEthOut[sn], f.nodeEthIn[dn]}
+		sc, dc := f.Topo.Device(src).Cluster, f.Topo.Device(dst).Cluster
+		if sc != dc {
+			lo, hi := sc, dc
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if trunk, ok := f.trunks[[2]int{lo, hi}]; ok {
+				p = append(p, trunk)
+			}
+		}
+		return p
+	}
+}
+
+// StartFlow begins a transfer of the given size between two ranks. onDone
+// fires (in virtual time) when the last byte arrives. A zero-byte flow
+// completes after just the latency term.
+func (f *Fabric) StartFlow(src, dst int, bytes float64, class Class, onDone func()) *Flow {
+	if bytes < 0 || math.IsNaN(bytes) {
+		panic(fmt.Sprintf("netsim: bad flow size %v", bytes))
+	}
+	fl := &Flow{
+		Src: src, Dst: dst, Class: f.EffectiveClass(src, dst, class),
+		Bytes: bytes, remaining: bytes, onDone: onDone, fab: f,
+		cap: math.Inf(1),
+	}
+	if fl.Class == Ether && f.Params.EthPerFlowBytesPerSec > 0 {
+		fl.cap = f.Params.EthPerFlowBytesPerSec
+	}
+	lat := f.Latency(src, dst, class)
+	// The flow occupies links only after its latency term elapses; for
+	// zero-byte control messages it completes then.
+	f.eng.After(lat, func() { f.admit(fl) })
+	return fl
+}
+
+func (f *Fabric) admit(fl *Flow) {
+	fl.started = true
+	if fl.remaining <= 0 {
+		f.finish(fl)
+		return
+	}
+	fl.path = f.path(fl.Src, fl.Dst, fl.Class)
+	fl.updatedAt = f.eng.Now()
+	f.active[fl] = struct{}{}
+	for _, l := range fl.path {
+		l.flows[fl] = struct{}{}
+	}
+	f.rebalance()
+}
+
+func (f *Fabric) finish(fl *Flow) {
+	if fl.doneEv != nil {
+		fl.doneEv.Cancel()
+		fl.doneEv = nil
+	}
+	for _, l := range fl.path {
+		delete(l.flows, fl)
+	}
+	delete(f.active, fl)
+	done := fl.onDone
+	fl.onDone = nil
+	if done != nil {
+		done()
+	}
+	f.rebalance()
+}
+
+// rebalance recomputes max-min fair rates for all active flows and
+// reschedules their completion events.
+func (f *Fabric) rebalance() {
+	now := f.eng.Now()
+	// Drain progress accrued at the old rates.
+	for fl := range f.active {
+		fl.remaining -= fl.rate * (now - fl.updatedAt)
+		if fl.remaining < 0 {
+			fl.remaining = 0
+		}
+		fl.updatedAt = now
+	}
+	// Progressive filling.
+	rates := maxMinRates(f.active)
+	for fl, r := range rates {
+		fl.rate = r
+		if fl.doneEv != nil {
+			fl.doneEv.Cancel()
+			fl.doneEv = nil
+		}
+		fl := fl
+		var eta float64
+		if fl.remaining <= 0 {
+			eta = 0
+		} else if fl.rate <= 0 {
+			continue // starved; will be rescheduled at the next rebalance
+		} else {
+			eta = fl.remaining / fl.rate
+		}
+		fl.doneEv = f.eng.After(eta, func() { f.finish(fl) })
+	}
+}
+
+// maxMinRates runs progressive filling over the links referenced by the
+// active flows.
+func maxMinRates(active map[*Flow]struct{}) map[*Flow]float64 {
+	rates := make(map[*Flow]float64, len(active))
+	unfrozen := make(map[*Flow]struct{}, len(active))
+	linkSet := make(map[*Link]struct{})
+	for fl := range active {
+		unfrozen[fl] = struct{}{}
+		for _, l := range fl.path {
+			linkSet[l] = struct{}{}
+		}
+	}
+	residual := make(map[*Link]float64, len(linkSet))
+	for l := range linkSet {
+		residual[l] = l.Capacity
+	}
+	for len(unfrozen) > 0 {
+		// Find the most constraining link: min residual / unfrozen count.
+		var bottleneck *Link
+		best := math.Inf(1)
+		for l := range linkSet {
+			n := 0
+			for fl := range l.flows {
+				if _, ok := unfrozen[fl]; ok {
+					n++
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			share := residual[l] / float64(n)
+			if share < best {
+				best = share
+				bottleneck = l
+			}
+		}
+		// Flows whose per-flow ceiling is below the fair share freeze at
+		// their cap first, returning the unused share to the links.
+		capped := false
+		for fl := range unfrozen {
+			if fl.cap < best {
+				rates[fl] = fl.cap
+				delete(unfrozen, fl)
+				for _, l := range fl.path {
+					residual[l] -= fl.cap
+					if residual[l] < 0 {
+						residual[l] = 0
+					}
+				}
+				capped = true
+			}
+		}
+		if capped {
+			continue
+		}
+		if bottleneck == nil {
+			// Remaining flows traverse only flow-free links; give them a
+			// degenerate zero rate (cannot happen with well-formed paths).
+			for fl := range unfrozen {
+				rates[fl] = 0
+				delete(unfrozen, fl)
+			}
+			break
+		}
+		// Freeze the flows crossing the bottleneck at the fair share and
+		// charge every link on their paths.
+		for fl := range bottleneck.flows {
+			if _, ok := unfrozen[fl]; !ok {
+				continue
+			}
+			rates[fl] = best
+			delete(unfrozen, fl)
+			for _, l := range fl.path {
+				residual[l] -= best
+				if residual[l] < 0 {
+					residual[l] = 0
+				}
+			}
+		}
+	}
+	return rates
+}
+
+// InFlight reports the number of active flows.
+func (f *Fabric) InFlight() int { return len(f.active) }
+
+// TransferTime returns the contention-free α–β estimate for moving the
+// given bytes between two ranks on a class: latency + bytes/bottleneck.
+// It is the analytic counterpart of StartFlow, used by the collective cost
+// models; it never mutates fabric state.
+func (f *Fabric) TransferTime(src, dst int, bytes float64, class Class) float64 {
+	t := f.Latency(src, dst, class)
+	if bytes <= 0 {
+		return t
+	}
+	bw := f.PairBandwidth(src, dst, class)
+	if bw <= 0 {
+		return math.Inf(1)
+	}
+	return t + bytes/bw
+}
+
+// PairBandwidth returns the bottleneck bandwidth (bytes/s) of the path
+// between two ranks for a class, absent contention (including the
+// per-flow Ethernet stream cap).
+func (f *Fabric) PairBandwidth(src, dst int, class Class) float64 {
+	bw := math.Inf(1)
+	for _, l := range f.path(src, dst, class) {
+		if l.Capacity < bw {
+			bw = l.Capacity
+		}
+	}
+	if f.EffectiveClass(src, dst, class) == Ether && f.Params.EthPerFlowBytesPerSec > 0 &&
+		f.Params.EthPerFlowBytesPerSec < bw {
+		bw = f.Params.EthPerFlowBytesPerSec
+	}
+	if math.IsInf(bw, 1) {
+		return 0
+	}
+	return bw
+}
+
+// NodeBandwidth returns the per-node aggregate bandwidth in bytes/s for
+// the class, after efficiency (the amount all GPUs of that node share).
+func (f *Fabric) NodeBandwidth(nodeIdx int, class Class) float64 {
+	switch class {
+	case Intra:
+		return f.nodeIntra[nodeIdx].Capacity
+	case RDMA:
+		return f.nodeRDMAOut[nodeIdx].Capacity
+	default:
+		return f.nodeEthOut[nodeIdx].Capacity
+	}
+}

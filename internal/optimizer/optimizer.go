@@ -1,0 +1,166 @@
+// Package optimizer provides the optimizers used by the real (goroutine)
+// executor — SGD and Adam, plus a ZeRO-1-style sharded Adam in which each
+// data-parallel rank owns one shard of the optimizer state (the
+// "distributed optimizer" of Megatron-LM that Holmes overlaps with the
+// backward pass) — and the gradient bucketing plan that drives the
+// Overlapped Distributed Optimizer's communication schedule.
+package optimizer
+
+import (
+	"fmt"
+	"math"
+
+	"holmes/internal/tensor"
+)
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	vel      tensor.Vector
+}
+
+// Step applies one update: w -= lr * (grad + momentum-velocity).
+func (o *SGD) Step(w, grad tensor.Vector) {
+	if len(w) != len(grad) {
+		panic(fmt.Sprintf("optimizer: weight/grad length mismatch %d vs %d", len(w), len(grad)))
+	}
+	if o.Momentum != 0 {
+		if o.vel == nil {
+			o.vel = tensor.NewVector(len(w))
+		}
+		for i := range w {
+			o.vel[i] = float32(o.Momentum)*o.vel[i] + grad[i]
+			w[i] -= float32(o.LR) * o.vel[i]
+		}
+		return
+	}
+	for i := range w {
+		w[i] -= float32(o.LR) * grad[i]
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) in float32 with float64
+// accumulators for the bias-corrected moments.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+	t       int
+	m, v    []float64
+}
+
+// NewAdam returns Adam with the conventional defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8}
+}
+
+// Step applies one Adam update in place.
+func (o *Adam) Step(w, grad tensor.Vector) {
+	if len(w) != len(grad) {
+		panic(fmt.Sprintf("optimizer: weight/grad length mismatch %d vs %d", len(w), len(grad)))
+	}
+	if o.m == nil {
+		o.m = make([]float64, len(w))
+		o.v = make([]float64, len(w))
+	}
+	o.t++
+	c1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	c2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for i := range w {
+		g := float64(grad[i])
+		o.m[i] = o.Beta1*o.m[i] + (1-o.Beta1)*g
+		o.v[i] = o.Beta2*o.v[i] + (1-o.Beta2)*g*g
+		mHat := o.m[i] / c1
+		vHat := o.v[i] / c2
+		w[i] -= float32(o.LR * mHat / (math.Sqrt(vHat) + o.Epsilon))
+	}
+}
+
+// ShardedAdam is the distributed optimizer: rank r of a data-parallel
+// group of size d owns shard r of the parameter vector. After a
+// reduce-scatter delivers rank r its gradient shard, UpdateShard advances
+// only that shard; an all-gather then rebuilds the full parameters
+// everywhere. State for other shards is never allocated — the ZeRO-1
+// memory saving.
+type ShardedAdam struct {
+	Rank, World int
+	inner       *Adam
+	shardLen    []int
+	offset      int
+}
+
+// NewShardedAdam creates the shard-r/d optimizer for a parameter vector of
+// length n, using tensor.Vector.Chunk's layout.
+func NewShardedAdam(lr float64, n, rank, world int) *ShardedAdam {
+	if world <= 0 || rank < 0 || rank >= world {
+		panic(fmt.Sprintf("optimizer: bad shard coordinates %d/%d", rank, world))
+	}
+	probe := tensor.NewVector(n).Chunk(world)
+	off := 0
+	lens := make([]int, world)
+	for i, c := range probe {
+		lens[i] = len(c)
+		if i < rank {
+			off += len(c)
+		}
+	}
+	return &ShardedAdam{
+		Rank: rank, World: world,
+		inner:    NewAdam(lr),
+		shardLen: lens,
+		offset:   off,
+	}
+}
+
+// ShardOf returns this rank's view of a full-length vector.
+func (o *ShardedAdam) ShardOf(full tensor.Vector) tensor.Vector {
+	return full[o.offset : o.offset+o.shardLen[o.Rank]]
+}
+
+// UpdateShard applies Adam to this rank's weight shard given the reduced
+// gradient shard.
+func (o *ShardedAdam) UpdateShard(weightShard, gradShard tensor.Vector) {
+	if len(weightShard) != o.shardLen[o.Rank] || len(gradShard) != o.shardLen[o.Rank] {
+		panic("optimizer: shard length mismatch")
+	}
+	o.inner.Step(weightShard, gradShard)
+}
+
+// BucketPlan is the communication schedule of the Overlapped Distributed
+// Optimizer: the gradient payload split into buckets that reduce-scatter
+// as soon as the backward pass produces them, hiding communication behind
+// remaining compute.
+type BucketPlan struct {
+	// Buckets is the bucket count (typically the micro-batch count: one
+	// bucket becomes ready per backward completion).
+	Buckets int
+	// TotalBytes is the full gradient payload.
+	TotalBytes float64
+}
+
+// BucketBytes returns the payload of bucket i (the last bucket absorbs
+// rounding).
+func (p BucketPlan) BucketBytes(i int) float64 {
+	if p.Buckets <= 0 {
+		panic("optimizer: empty bucket plan")
+	}
+	if i < 0 || i >= p.Buckets {
+		panic(fmt.Sprintf("optimizer: bucket %d out of range [0,%d)", i, p.Buckets))
+	}
+	base := math.Floor(p.TotalBytes / float64(p.Buckets))
+	if i == p.Buckets-1 {
+		return p.TotalBytes - base*float64(p.Buckets-1)
+	}
+	return base
+}
+
+// Sum returns the total payload across buckets (== TotalBytes).
+func (p BucketPlan) Sum() float64 {
+	var s float64
+	for i := 0; i < p.Buckets; i++ {
+		s += p.BucketBytes(i)
+	}
+	return s
+}

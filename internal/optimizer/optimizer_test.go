@@ -1,0 +1,160 @@
+package optimizer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"holmes/internal/tensor"
+)
+
+func TestSGDStep(t *testing.T) {
+	o := &SGD{LR: 0.1}
+	w := tensor.Vector{1, 2}
+	o.Step(w, tensor.Vector{1, -1})
+	if math.Abs(float64(w[0])-0.9) > 1e-6 || math.Abs(float64(w[1])-2.1) > 1e-6 {
+		t.Fatalf("SGD step: %v", w)
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	o := &SGD{LR: 0.1, Momentum: 0.9}
+	w := tensor.Vector{0}
+	o.Step(w, tensor.Vector{1})
+	first := float64(w[0])
+	o.Step(w, tensor.Vector{1})
+	second := float64(w[0]) - first
+	// With momentum, the second step is larger than the first.
+	if !(second < first && first < 0) {
+		t.Fatalf("momentum not accumulating: first=%v delta2=%v", first, second)
+	}
+}
+
+func TestSGDConvergesOnQuadratic(t *testing.T) {
+	// minimize (w-3)^2 — gradient 2(w-3).
+	o := &SGD{LR: 0.1}
+	w := tensor.Vector{0}
+	for i := 0; i < 200; i++ {
+		o.Step(w, tensor.Vector{2 * (w[0] - 3)})
+	}
+	if math.Abs(float64(w[0])-3) > 1e-3 {
+		t.Fatalf("SGD did not converge: %v", w[0])
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	o := NewAdam(0.05)
+	w := tensor.Vector{-4}
+	for i := 0; i < 2000; i++ {
+		o.Step(w, tensor.Vector{2 * (w[0] - 3)})
+	}
+	if math.Abs(float64(w[0])-3) > 1e-2 {
+		t.Fatalf("Adam did not converge: %v", w[0])
+	}
+}
+
+func TestAdamFirstStepIsLRSized(t *testing.T) {
+	// Bias correction makes the first Adam step ≈ lr regardless of
+	// gradient scale.
+	for _, scale := range []float32{1e-3, 1, 1e3} {
+		o := NewAdam(0.1)
+		w := tensor.Vector{0}
+		o.Step(w, tensor.Vector{scale})
+		if math.Abs(float64(w[0])+0.1) > 0.02 {
+			t.Fatalf("first Adam step with grad %v moved %v, want ~-0.1", scale, w[0])
+		}
+	}
+}
+
+func TestStepLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatch")
+		}
+	}()
+	NewAdam(0.1).Step(tensor.Vector{1}, tensor.Vector{1, 2})
+}
+
+func TestShardedAdamMatchesFullAdam(t *testing.T) {
+	// d ranks each own one shard; their collective update must equal a
+	// single full Adam — the core distributed-optimizer equivalence.
+	rng := rand.New(rand.NewSource(3))
+	n, d := 37, 4 // deliberately not divisible
+	full := tensor.Randn(rng, n, 1)
+	ref := full.Clone()
+	refOpt := NewAdam(0.01)
+
+	shardW := full.Clone()
+	shards := make([]*ShardedAdam, d)
+	for r := 0; r < d; r++ {
+		shards[r] = NewShardedAdam(0.01, n, r, d)
+	}
+	for step := 0; step < 5; step++ {
+		grad := tensor.Randn(rng, n, 1)
+		refOpt.Step(ref, grad)
+		for r := 0; r < d; r++ {
+			o := shards[r]
+			o.UpdateShard(o.ShardOf(shardW), o.ShardOf(grad))
+		}
+	}
+	if !shardW.AllClose(ref, 1e-6) {
+		t.Fatalf("sharded Adam diverged from full Adam by %v", shardW.MaxAbsDiff(ref))
+	}
+}
+
+func TestShardedAdamCoordinatesValidated(t *testing.T) {
+	for _, tc := range [][2]int{{-1, 4}, {4, 4}, {0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewShardedAdam(%d/%d) did not panic", tc[0], tc[1])
+				}
+			}()
+			NewShardedAdam(0.1, 10, tc[0], tc[1])
+		}()
+	}
+}
+
+func TestShardOfCoversVector(t *testing.T) {
+	n, d := 23, 5
+	full := tensor.NewVector(n)
+	covered := 0
+	for r := 0; r < d; r++ {
+		covered += len(NewShardedAdam(0.1, n, r, d).ShardOf(full))
+	}
+	if covered != n {
+		t.Fatalf("shards cover %d of %d elements", covered, n)
+	}
+}
+
+// Property: bucket plans conserve the payload exactly.
+func TestBucketPlanConservesBytes(t *testing.T) {
+	f := func(bRaw uint8, totRaw uint32) bool {
+		b := int(bRaw%32) + 1
+		total := float64(totRaw % 1e9)
+		p := BucketPlan{Buckets: b, TotalBytes: total}
+		if math.Abs(p.Sum()-total) > 1e-6 {
+			return false
+		}
+		for i := 0; i < b; i++ {
+			if p.BucketBytes(i) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketPlanBounds(t *testing.T) {
+	p := BucketPlan{Buckets: 4, TotalBytes: 100}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range bucket did not panic")
+		}
+	}()
+	p.BucketBytes(4)
+}

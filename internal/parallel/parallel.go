@@ -1,0 +1,239 @@
+// Package parallel constructs the tensor-, pipeline-, and data-parallel
+// group matrices of the paper's formalization (§3.1.2, Eq. 1–3) and
+// analyzes their placement against a hardware topology.
+//
+// With degrees t (tensor), p (pipeline), d (data) and N = t·p·d devices:
+//
+//	[TP]_{i,j} = rank_{(i−1)·t + j}                    i ≤ p·d, j ≤ t
+//	[PP]_{i,j} = rank_{i + (j−1)·t·d}                  i ≤ t·d, j ≤ p
+//	[DP]_{i,j} = rank_{mod(i−1,t) + (⌊(i−1)/t⌋·d + j−1)·t + 1}   i ≤ p·t, j ≤ d
+//
+// (The code uses 0-based ranks.) Under this numbering pipeline stage j is
+// the contiguous rank block [j·t·d, (j+1)·t·d), so with the paper's
+// cluster-major global numbering, stages align with clusters — the heart
+// of Cross-Cluster Pipeline Parallelism: pipeline groups span clusters
+// over Ethernet while each data-parallel group stays inside one cluster
+// and can ride its RDMA fabric.
+package parallel
+
+import (
+	"fmt"
+
+	"holmes/internal/topology"
+)
+
+// Degrees bundles the three parallelism degrees.
+type Degrees struct {
+	T int // tensor parallel size (within a node)
+	P int // pipeline parallel size
+	D int // data parallel size
+}
+
+// Validate checks the §2.4 constraints against a world size and node shape.
+func (g Degrees) Validate(n, gpusPerNode int) error {
+	switch {
+	case g.T <= 0 || g.P <= 0 || g.D <= 0:
+		return fmt.Errorf("parallel: non-positive degree %+v", g)
+	case g.T*g.P*g.D != n:
+		return fmt.Errorf("parallel: t·p·d = %d ≠ N = %d", g.T*g.P*g.D, n)
+	case g.T > gpusPerNode:
+		return fmt.Errorf("parallel: tensor degree %d exceeds GPUs per node %d", g.T, gpusPerNode)
+	case gpusPerNode%g.T != 0:
+		return fmt.Errorf("parallel: tensor degree %d does not divide GPUs per node %d", g.T, gpusPerNode)
+	}
+	return nil
+}
+
+// Assignment holds the three group matrices for one configuration.
+type Assignment struct {
+	Degrees
+	N int
+	// TP has p·d rows of t ranks (same node).
+	TP [][]int
+	// PP has t·d rows of p ranks (one per stage).
+	PP [][]int
+	// DP has p·t rows of d ranks (same stage, same tensor index).
+	DP [][]int
+
+	stageOf []int // rank -> pipeline stage
+	dpRowOf []int // rank -> DP row index
+	ppRowOf []int // rank -> PP row index
+	tpRowOf []int // rank -> TP row index
+}
+
+// New builds the assignment for n devices. gpusPerNode guards the tensor
+// constraint; pass topology.DefaultGPUsPerNode when unsure.
+func New(n, gpusPerNode int, deg Degrees) (*Assignment, error) {
+	if err := deg.Validate(n, gpusPerNode); err != nil {
+		return nil, err
+	}
+	t, p, d := deg.T, deg.P, deg.D
+	a := &Assignment{
+		Degrees: deg, N: n,
+		stageOf: make([]int, n),
+		dpRowOf: make([]int, n),
+		ppRowOf: make([]int, n),
+		tpRowOf: make([]int, n),
+	}
+	// Eq. 1: tensor groups are consecutive rank runs of length t.
+	for i := 0; i < p*d; i++ {
+		row := make([]int, t)
+		for j := 0; j < t; j++ {
+			r := i*t + j
+			row[j] = r
+			a.tpRowOf[r] = i
+		}
+		a.TP = append(a.TP, row)
+	}
+	// Eq. 2: pipeline groups stride by t·d; member j is stage j.
+	for i := 0; i < t*d; i++ {
+		row := make([]int, p)
+		for j := 0; j < p; j++ {
+			r := i + j*t*d
+			row[j] = r
+			a.stageOf[r] = j
+			a.ppRowOf[r] = i
+		}
+		a.PP = append(a.PP, row)
+	}
+	// Eq. 3: data groups stride by t within one stage block.
+	for i := 0; i < p*t; i++ {
+		row := make([]int, d)
+		for j := 0; j < d; j++ {
+			r := i%t + ((i/t)*d+j)*t
+			row[j] = r
+			a.dpRowOf[r] = i
+		}
+		a.DP = append(a.DP, row)
+	}
+	return a, nil
+}
+
+// StageOf returns the pipeline stage (0-based) a rank computes.
+func (a *Assignment) StageOf(rank int) int { return a.stageOf[a.check(rank)] }
+
+// TPGroup returns the tensor-parallel group containing rank.
+func (a *Assignment) TPGroup(rank int) []int { return a.TP[a.tpRowOf[a.check(rank)]] }
+
+// PPGroup returns the pipeline-parallel group containing rank.
+func (a *Assignment) PPGroup(rank int) []int { return a.PP[a.ppRowOf[a.check(rank)]] }
+
+// DPGroup returns the data-parallel group containing rank.
+func (a *Assignment) DPGroup(rank int) []int { return a.DP[a.dpRowOf[a.check(rank)]] }
+
+// DPRow returns the index of the data-parallel group containing rank.
+func (a *Assignment) DPRow(rank int) int { return a.dpRowOf[a.check(rank)] }
+
+// StageRanks returns all ranks computing the given pipeline stage: the
+// contiguous block [stage·t·d, (stage+1)·t·d).
+func (a *Assignment) StageRanks(stage int) []int {
+	if stage < 0 || stage >= a.P {
+		panic(fmt.Sprintf("parallel: stage %d out of range [0,%d)", stage, a.P))
+	}
+	out := make([]int, a.T*a.D)
+	for i := range out {
+		out[i] = stage*a.T*a.D + i
+	}
+	return out
+}
+
+func (a *Assignment) check(rank int) int {
+	if rank < 0 || rank >= a.N {
+		panic(fmt.Sprintf("parallel: rank %d out of range [0,%d)", rank, a.N))
+	}
+	return rank
+}
+
+// GroupNIC reports the NIC technology a group can use: the common RDMA
+// type when all members sit in clusters with one compatible RDMA fabric,
+// Ethernet otherwise. Single-node groups return the intra-node class via
+// ok=false (no NIC needed).
+func GroupNIC(topo *topology.Topology, group []int) (nic topology.NICType, crossNode bool) {
+	if len(group) == 0 {
+		panic("parallel: empty group")
+	}
+	first := group[0]
+	crossNode = false
+	for _, r := range group[1:] {
+		if !topo.SameNode(first, r) {
+			crossNode = true
+			break
+		}
+	}
+	if !crossNode {
+		return topo.NodeOf(first).RDMAType(), false
+	}
+	nic = topo.NodeOf(first).RDMAType()
+	for _, r := range group[1:] {
+		other := topo.NodeOf(r).RDMAType()
+		if !nic.IsRDMA() || !topology.Compatible(nic, other) || !topo.SameCluster(first, r) {
+			return topology.Ethernet, true
+		}
+	}
+	return nic, true
+}
+
+// Analysis summarizes how an assignment lands on a topology.
+type Analysis struct {
+	// DPHomogeneous reports whether every data-parallel group is
+	// NIC-homogeneous (can use RDMA end-to-end).
+	DPHomogeneous bool
+	// DPGroupNICs holds the NIC selected for each DP row.
+	DPGroupNICs []topology.NICType
+	// PPCrossCluster counts pipeline edges that cross cluster boundaries.
+	PPCrossCluster int
+	// TPWithinNode reports whether every tensor group stays on one node.
+	TPWithinNode bool
+	// StageCluster maps each stage to its cluster, or -1 if a stage spans
+	// clusters.
+	StageCluster []int
+}
+
+// Analyze computes placement properties of the assignment on topo.
+func Analyze(topo *topology.Topology, a *Assignment) Analysis {
+	if topo.NumDevices() != a.N {
+		panic(fmt.Sprintf("parallel: topology has %d devices, assignment %d", topo.NumDevices(), a.N))
+	}
+	res := Analysis{DPHomogeneous: true, TPWithinNode: true}
+	for _, g := range a.DP {
+		nic, _ := GroupNIC(topo, g)
+		res.DPGroupNICs = append(res.DPGroupNICs, nic)
+		if !nic.IsRDMA() && topo.NodeOf(g[0]).RDMAType().IsRDMA() && len(g) > 1 {
+			// The group could have had RDMA but spans incompatible fabrics.
+			if _, cross := GroupNIC(topo, g); cross {
+				res.DPHomogeneous = false
+			}
+		}
+	}
+	for _, g := range a.PP {
+		for j := 0; j+1 < len(g); j++ {
+			if !topo.SameCluster(g[j], g[j+1]) {
+				res.PPCrossCluster++
+			}
+		}
+	}
+	for _, g := range a.TP {
+		for _, r := range g[1:] {
+			if !topo.SameNode(g[0], r) {
+				res.TPWithinNode = false
+			}
+		}
+	}
+	for s := 0; s < a.P; s++ {
+		ranks := a.StageRanks(s)
+		c := topo.Device(ranks[0]).Cluster
+		same := true
+		for _, r := range ranks[1:] {
+			if topo.Device(r).Cluster != c {
+				same = false
+				break
+			}
+		}
+		if same {
+			res.StageCluster = append(res.StageCluster, c)
+		} else {
+			res.StageCluster = append(res.StageCluster, -1)
+		}
+	}
+	return res
+}

@@ -1,0 +1,220 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"holmes/internal/netsim"
+	"holmes/internal/sim"
+)
+
+// ExecConfig parameterizes one pipeline group's execution on the fabric.
+type ExecConfig struct {
+	// Ranks lists the group's devices, one per stage, in stage order (a row
+	// of the [PP] matrix).
+	Ranks []int
+	// ForwardTime and BackwardTime give per-stage compute seconds per
+	// micro-batch (unequal under the self-adapting partition).
+	ForwardTime, BackwardTime []float64
+	// ActivationBytes is the payload of each inter-stage transfer (both
+	// the forward activation and the backward gradient, which are the same
+	// size for transformer pipelines).
+	ActivationBytes float64
+	// Class is the network class for inter-stage hops (Ether for
+	// cross-cluster pipelines under Automatic NIC Selection).
+	Class netsim.Class
+	// OnBackwardDone, if set, fires when a stage finishes a micro-batch's
+	// backward pass — the hook the overlapped distributed optimizer uses to
+	// start gradient reduce-scatter buckets during the pipeline.
+	OnBackwardDone func(stage, micro int, now sim.Time)
+	// OnDone fires when the whole schedule (all stages) completes.
+	OnDone func(now sim.Time)
+}
+
+// Executor replays a Schedule on the DES fabric.
+type Executor struct {
+	eng   *sim.Engine
+	fab   *netsim.Fabric
+	sched *Schedule
+	cfg   ExecConfig
+
+	pos      []int    // index of the first unexecuted op per stage
+	executed [][]bool // per stage, per op index: already run out of order
+	busy     []bool   // stage compute engine in use
+	fReady   [][]bool // activation for F_{s,i} arrived
+	bReady   [][]bool // gradient for B_{s,i} arrived
+	fDone    [][]bool
+	done     int
+	total    int
+	finished bool
+}
+
+// NewExecutor validates the configuration against the schedule and
+// prepares an executor. Call Start to begin at the engine's current time.
+func NewExecutor(eng *sim.Engine, fab *netsim.Fabric, sched *Schedule, cfg ExecConfig) (*Executor, error) {
+	p := sched.Stages
+	if len(cfg.Ranks) != p {
+		return nil, fmt.Errorf("pipeline: %d ranks for %d stages", len(cfg.Ranks), p)
+	}
+	if len(cfg.ForwardTime) != p || len(cfg.BackwardTime) != p {
+		return nil, fmt.Errorf("pipeline: compute-time vectors must have %d entries", p)
+	}
+	for s := 0; s < p; s++ {
+		if cfg.ForwardTime[s] < 0 || cfg.BackwardTime[s] < 0 {
+			return nil, fmt.Errorf("pipeline: negative compute time at stage %d", s)
+		}
+	}
+	if cfg.ActivationBytes < 0 {
+		return nil, fmt.Errorf("pipeline: negative activation size")
+	}
+	e := &Executor{
+		eng: eng, fab: fab, sched: sched, cfg: cfg,
+		pos:      make([]int, p),
+		executed: make([][]bool, p),
+		busy:     make([]bool, p),
+		total:    p * 2 * sched.Micro,
+	}
+	e.fReady = make([][]bool, p)
+	e.bReady = make([][]bool, p)
+	e.fDone = make([][]bool, p)
+	for s := 0; s < p; s++ {
+		e.executed[s] = make([]bool, len(sched.Ops[s]))
+		e.fReady[s] = make([]bool, sched.Micro)
+		e.bReady[s] = make([]bool, sched.Micro)
+		e.fDone[s] = make([]bool, sched.Micro)
+		if s == 0 {
+			for i := range e.fReady[s] {
+				e.fReady[s][i] = true // stage 0 reads micro-batches locally
+			}
+		}
+	}
+	return e, nil
+}
+
+// Start schedules the first ops. The executor then drives itself through
+// the engine until every stage drains, firing OnDone once.
+func (e *Executor) Start() {
+	for s := 0; s < e.sched.Stages; s++ {
+		e.tryAdvance(s)
+	}
+}
+
+// ready reports whether an op's input dependency has arrived.
+func (e *Executor) ready(s int, op Op) bool {
+	switch op.Kind {
+	case Forward:
+		return e.fReady[s][op.Micro]
+	default: // Backward
+		if s == e.sched.Stages-1 {
+			return e.fDone[s][op.Micro]
+		}
+		return e.bReady[s][op.Micro]
+	}
+}
+
+// tryAdvance launches the stage's next runnable op if the stage is idle.
+//
+// The schedule order is authoritative, with one relaxation real 1F1B
+// implementations exploit when transfers are in flight: if the scheduled
+// op is a forward whose activation has not arrived yet, a *later backward*
+// whose gradient is already here may run first. Running a backward early
+// only releases activation memory, so the 1F1B residency bound still
+// holds; forwards are never promoted past pending backwards (that would
+// grow memory toward GPipe's footprint).
+func (e *Executor) tryAdvance(s int) {
+	if e.busy[s] {
+		return
+	}
+	ops := e.sched.Ops[s]
+	for idx := e.pos[s]; idx < len(ops); idx++ {
+		if e.executed[s][idx] {
+			if idx == e.pos[s] {
+				e.pos[s]++
+			}
+			continue
+		}
+		op := ops[idx]
+		if e.ready(s, op) {
+			e.launch(s, idx, op)
+			return
+		}
+		if op.Kind == Backward {
+			// A blocked backward fences the stage: promoting a later
+			// forward would exceed the 1F1B memory bound.
+			return
+		}
+		// Blocked forward: keep scanning for a ready backward.
+	}
+}
+
+func (e *Executor) launch(s, idx int, op Op) {
+	e.executed[s][idx] = true
+	if idx == e.pos[s] {
+		e.pos[s]++
+	}
+	e.busy[s] = true
+	dur := e.cfg.ForwardTime[s]
+	if op.Kind == Backward {
+		dur = e.cfg.BackwardTime[s]
+	}
+	e.eng.After(dur, func() { e.complete(s, op) })
+}
+
+func (e *Executor) complete(s int, op Op) {
+	e.busy[s] = false
+	p := e.sched.Stages
+	switch op.Kind {
+	case Forward:
+		e.fDone[s][op.Micro] = true
+		if s+1 < p {
+			e.sendTo(s, s+1, func() {
+				e.fReady[s+1][op.Micro] = true
+				e.tryAdvance(s + 1)
+			})
+		}
+	case Backward:
+		if e.cfg.OnBackwardDone != nil {
+			e.cfg.OnBackwardDone(s, op.Micro, e.eng.Now())
+		}
+		if s > 0 {
+			e.sendTo(s, s-1, func() {
+				e.bReady[s-1][op.Micro] = true
+				e.tryAdvance(s - 1)
+			})
+		}
+	}
+	e.done++
+	if e.done == e.total && !e.finished {
+		e.finished = true
+		if e.cfg.OnDone != nil {
+			e.cfg.OnDone(e.eng.Now())
+		}
+	}
+	e.tryAdvance(s)
+}
+
+func (e *Executor) sendTo(from, to int, arrived func()) {
+	src, dst := e.cfg.Ranks[from], e.cfg.Ranks[to]
+	e.fab.StartFlow(src, dst, e.cfg.ActivationBytes, e.cfg.Class, arrived)
+}
+
+// RunOne is a convenience wrapper: build, start, and run an executor to
+// completion on a fresh engine pass, returning the iteration makespan.
+// The engine must have no unrelated pending events.
+func RunOne(eng *sim.Engine, fab *netsim.Fabric, sched *Schedule, cfg ExecConfig) (sim.Time, error) {
+	var end sim.Time
+	prev := cfg.OnDone
+	cfg.OnDone = func(now sim.Time) {
+		end = now
+		if prev != nil {
+			prev(now)
+		}
+	}
+	ex, err := NewExecutor(eng, fab, sched, cfg)
+	if err != nil {
+		return 0, err
+	}
+	start := eng.Now()
+	ex.Start()
+	eng.Run()
+	return end - start, nil
+}

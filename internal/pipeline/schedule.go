@@ -1,0 +1,218 @@
+// Package pipeline implements pipeline-model-parallel schedules: GPipe and
+// the PipeDream-Flush / 1F1B schedule the paper builds on ("The
+// implementation of our pipeline parallelism is similar to PipeDream-Flush
+// [19]. We use periodic pipeline flushes to maintain the synchronization
+// of optimizer steps", §3.1.1).
+//
+// A Schedule is the static per-stage order of forward/backward micro-batch
+// operations; Executor replays a schedule on the discrete-event fabric,
+// with per-stage compute times (which the self-adapting partition makes
+// unequal) and per-hop activation/gradient transfers, so pipeline bubbles
+// and communication stalls emerge rather than being assumed.
+package pipeline
+
+import "fmt"
+
+// OpKind distinguishes forward from backward micro-batch work.
+type OpKind int
+
+const (
+	Forward OpKind = iota
+	Backward
+)
+
+// String names the op kind.
+func (k OpKind) String() string {
+	if k == Forward {
+		return "F"
+	}
+	return "B"
+}
+
+// Op is one unit of stage work on one micro-batch.
+type Op struct {
+	Kind  OpKind
+	Micro int
+}
+
+func (o Op) String() string { return fmt.Sprintf("%v%d", o.Kind, o.Micro) }
+
+// Schedule is a static pipeline execution plan: Ops[s] is the ordered work
+// list of stage s.
+type Schedule struct {
+	Stages int
+	Micro  int
+	Ops    [][]Op
+	Name   string
+}
+
+// OneFOneB builds the PipeDream-Flush schedule for p stages and m
+// micro-batches: stage s runs min(p−1−s, m) warm-up forwards, then
+// alternates one-forward-one-backward, then drains the remaining
+// backwards. Peak resident activations per stage are ≤ min(p−s, m), which
+// is the schedule's memory advantage over GPipe.
+func OneFOneB(p, m int) *Schedule {
+	validateShape(p, m)
+	s := &Schedule{Stages: p, Micro: m, Name: "1F1B"}
+	for st := 0; st < p; st++ {
+		warmup := p - 1 - st
+		if warmup > m {
+			warmup = m
+		}
+		var ops []Op
+		nextF, nextB := 0, 0
+		for i := 0; i < warmup; i++ {
+			ops = append(ops, Op{Forward, nextF})
+			nextF++
+		}
+		for nextB < m {
+			if nextF < m {
+				ops = append(ops, Op{Forward, nextF})
+				nextF++
+			}
+			ops = append(ops, Op{Backward, nextB})
+			nextB++
+		}
+		s.Ops = append(s.Ops, ops)
+	}
+	return s
+}
+
+// GPipe builds the all-forwards-then-all-backwards schedule, the baseline
+// with m resident micro-batches per stage.
+func GPipe(p, m int) *Schedule {
+	validateShape(p, m)
+	s := &Schedule{Stages: p, Micro: m, Name: "GPipe"}
+	for st := 0; st < p; st++ {
+		var ops []Op
+		for i := 0; i < m; i++ {
+			ops = append(ops, Op{Forward, i})
+		}
+		for i := 0; i < m; i++ {
+			ops = append(ops, Op{Backward, i})
+		}
+		s.Ops = append(s.Ops, ops)
+	}
+	return s
+}
+
+func validateShape(p, m int) {
+	if p <= 0 || m <= 0 {
+		panic(fmt.Sprintf("pipeline: bad shape p=%d m=%d", p, m))
+	}
+}
+
+// Validate checks that the schedule is complete (each stage runs every
+// micro-batch forward and backward exactly once) and causally executable:
+// a topological replay respecting inter-stage dependencies (F_{s,i} needs
+// F_{s−1,i}; B_{s,i} needs B_{s+1,i}; B on the last stage needs its own F)
+// and intra-stage order must terminate.
+func (s *Schedule) Validate() error {
+	if len(s.Ops) != s.Stages {
+		return fmt.Errorf("pipeline: %d op lists for %d stages", len(s.Ops), s.Stages)
+	}
+	for st, ops := range s.Ops {
+		if len(ops) != 2*s.Micro {
+			return fmt.Errorf("pipeline: stage %d has %d ops, want %d", st, len(ops), 2*s.Micro)
+		}
+		seen := map[Op]bool{}
+		for _, op := range ops {
+			if op.Micro < 0 || op.Micro >= s.Micro {
+				return fmt.Errorf("pipeline: stage %d op %v out of range", st, op)
+			}
+			if seen[op] {
+				return fmt.Errorf("pipeline: stage %d repeats %v", st, op)
+			}
+			seen[op] = true
+		}
+	}
+	// Causal replay.
+	pos := make([]int, s.Stages)
+	fDone := make([][]bool, s.Stages)
+	bDone := make([][]bool, s.Stages)
+	for st := range fDone {
+		fDone[st] = make([]bool, s.Micro)
+		bDone[st] = make([]bool, s.Micro)
+	}
+	remaining := s.Stages * 2 * s.Micro
+	for remaining > 0 {
+		progressed := false
+		for st := 0; st < s.Stages; st++ {
+			for pos[st] < len(s.Ops[st]) {
+				op := s.Ops[st][pos[st]]
+				ready := false
+				switch op.Kind {
+				case Forward:
+					ready = st == 0 || fDone[st-1][op.Micro]
+				case Backward:
+					if st == s.Stages-1 {
+						ready = fDone[st][op.Micro]
+					} else {
+						ready = bDone[st+1][op.Micro]
+					}
+				}
+				if !ready {
+					break
+				}
+				if op.Kind == Forward {
+					fDone[st][op.Micro] = true
+				} else {
+					bDone[st][op.Micro] = true
+				}
+				pos[st]++
+				remaining--
+				progressed = true
+			}
+		}
+		if !progressed {
+			return fmt.Errorf("pipeline: schedule deadlocks (stages stuck at %v)", pos)
+		}
+	}
+	return nil
+}
+
+// MaxInFlight returns the peak number of micro-batches resident on a stage
+// (forwards executed whose backwards have not yet run) under the
+// schedule's own order — the activation-memory driver.
+func (s *Schedule) MaxInFlight(stage int) int {
+	inFlight, peak := 0, 0
+	for _, op := range s.Ops[stage] {
+		if op.Kind == Forward {
+			inFlight++
+			if inFlight > peak {
+				peak = inFlight
+			}
+		} else {
+			inFlight--
+		}
+	}
+	return peak
+}
+
+// BubbleFraction returns the classic analytic pipeline bubble share for a
+// flush-based schedule with equal stages: (p−1)/(m+p−1).
+func BubbleFraction(p, m int) float64 {
+	return float64(p-1) / float64(m+p-1)
+}
+
+// AnalyticIterTime estimates one iteration of a flush-based pipeline with
+// per-stage per-micro-batch compute times tf[s]+tb[s] and a per-hop
+// communication time comm: (m−1) beats of the slowest stage plus one full
+// traversal of all stages and hops. It is the planner's quick estimate;
+// the Executor is the ground truth.
+func AnalyticIterTime(tf, tb []float64, comm float64, m int) float64 {
+	p := len(tf)
+	if p == 0 || len(tb) != p || m <= 0 {
+		panic("pipeline: bad analytic inputs")
+	}
+	beat := 0.0
+	sum := 0.0
+	for s := 0; s < p; s++ {
+		t := tf[s] + tb[s]
+		if t > beat {
+			beat = t
+		}
+		sum += t
+	}
+	return float64(m-1)*beat + sum + 2*float64(p-1)*comm
+}

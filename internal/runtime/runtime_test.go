@@ -1,0 +1,262 @@
+package runtime
+
+import (
+	"math/rand"
+	"testing"
+
+	"holmes/internal/tensor"
+)
+
+func worldVectors(seed int64, n, size int) []tensor.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	vs := make([]tensor.Vector, n)
+	for i := range vs {
+		vs[i] = tensor.Randn(rng, size, 1)
+	}
+	return vs
+}
+
+func sumOf(vs []tensor.Vector) tensor.Vector {
+	total := vs[0].Clone()
+	for _, v := range vs[1:] {
+		total.Add(v)
+	}
+	return total
+}
+
+func TestAllReduceSumsEverywhere(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 8} {
+		for _, size := range []int{1, 7, 64} {
+			if size < n {
+				continue
+			}
+			vs := worldVectors(int64(n*100+size), n, size)
+			want := sumOf(vs)
+			group := ranks(n)
+			results := make([]tensor.Vector, n)
+			SpawnWorld(n, func(rank int, tr *Transport) {
+				v := vs[rank].Clone()
+				NewComm(tr, group, rank).AllReduce(v)
+				results[rank] = v
+			})
+			for r := 0; r < n; r++ {
+				if !results[r].AllClose(want, 1e-4) {
+					t.Fatalf("n=%d size=%d rank %d all-reduce off by %g",
+						n, size, r, results[r].MaxAbsDiff(want))
+				}
+			}
+		}
+	}
+}
+
+func ranks(n int) []int {
+	g := make([]int, n)
+	for i := range g {
+		g[i] = i
+	}
+	return g
+}
+
+func TestReduceScatterOwnedChunk(t *testing.T) {
+	n, size := 4, 22 // uneven chunks
+	vs := worldVectors(5, n, size)
+	want := sumOf(vs)
+	wantChunks := want.Chunk(n)
+	results := make([]tensor.Vector, n)
+	SpawnWorld(n, func(rank int, tr *Transport) {
+		v := vs[rank].Clone()
+		NewComm(tr, ranks(n), rank).ReduceScatter(v)
+		results[rank] = v.Chunk(n)[rank].Clone()
+	})
+	for r := 0; r < n; r++ {
+		if !results[r].AllClose(wantChunks[r], 1e-4) {
+			t.Fatalf("rank %d owns wrong chunk after reduce-scatter: off by %g",
+				r, results[r].MaxAbsDiff(wantChunks[r]))
+		}
+	}
+}
+
+func TestAllGatherRebuildsVector(t *testing.T) {
+	n, size := 5, 23
+	// Rank r starts with only chunk r authoritative; all-gather must
+	// rebuild the same full vector everywhere.
+	rng := rand.New(rand.NewSource(9))
+	truth := tensor.Randn(rng, size, 1)
+	results := make([]tensor.Vector, n)
+	SpawnWorld(n, func(rank int, tr *Transport) {
+		v := tensor.NewVector(size)
+		copy(v.Chunk(n)[rank], truth.Chunk(n)[rank])
+		NewComm(tr, ranks(n), rank).AllGather(v)
+		results[rank] = v
+	})
+	for r := 0; r < n; r++ {
+		if !results[r].AllClose(truth, 0) {
+			t.Fatalf("rank %d all-gather mismatch", r)
+		}
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	n, size, root := 6, 11, 2
+	rng := rand.New(rand.NewSource(4))
+	payload := tensor.Randn(rng, size, 1)
+	results := make([]tensor.Vector, n)
+	SpawnWorld(n, func(rank int, tr *Transport) {
+		v := tensor.NewVector(size)
+		if rank == root {
+			copy(v, payload)
+		}
+		NewComm(tr, ranks(n), rank).Broadcast(v, root)
+		results[rank] = v
+	})
+	for r := 0; r < n; r++ {
+		if !results[r].AllClose(payload, 0) {
+			t.Fatalf("rank %d broadcast mismatch", r)
+		}
+	}
+}
+
+func TestBarrierCompletes(t *testing.T) {
+	n := 7
+	for trial := 0; trial < 3; trial++ {
+		SpawnWorld(n, func(rank int, tr *Transport) {
+			c := NewComm(tr, ranks(n), rank)
+			for i := 0; i < 5; i++ {
+				c.Barrier()
+			}
+		})
+	}
+}
+
+func TestSendCopiesBuffer(t *testing.T) {
+	tr := NewTransport(2)
+	v := tensor.Vector{1, 2, 3}
+	tr.Send(0, 1, v)
+	v[0] = 99 // mutate after send
+	got := tr.Recv(0, 1)
+	if got[0] != 1 {
+		t.Fatal("Send must copy: receiver saw sender's mutation")
+	}
+}
+
+func TestSelfSendPanics(t *testing.T) {
+	tr := NewTransport(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self-send did not panic")
+		}
+	}()
+	tr.Send(1, 1, tensor.Vector{1})
+}
+
+func TestCommRequiresMembership(t *testing.T) {
+	tr := NewTransport(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-member comm did not panic")
+		}
+	}()
+	NewComm(tr, []int{0, 1}, 3)
+}
+
+func TestSpawnWorldPropagatesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rank panic not propagated")
+		}
+	}()
+	SpawnWorld(2, func(rank int, tr *Transport) {
+		if rank == 1 {
+			panic("boom")
+		}
+	})
+}
+
+// The central correctness claim: data-parallel training with the sharded
+// optimizer over real collectives equals serial training, for several
+// world sizes.
+func TestDataParallelMatchesSerial(t *testing.T) {
+	in, out := 6, 3
+	model := NewLinearModel(11, in, out)
+	var batches [][]Example
+	for step := 0; step < 8; step++ {
+		batches = append(batches, SyntheticBatch(int64(100+step), 24, in, out))
+	}
+	want := TrainSerial(model, batches, 0.01)
+	for _, d := range []int{1, 2, 4, 8} {
+		got, err := TrainDataParallel(d, model, batches, 0.01)
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		if !got.AllClose(want, 2e-3) {
+			t.Fatalf("d=%d diverged from serial by %g", d, got.MaxAbsDiff(want))
+		}
+	}
+}
+
+func TestDataParallelTrainingReducesLoss(t *testing.T) {
+	in, out := 5, 2
+	model := NewLinearModel(7, in, out)
+	all := SyntheticDataset(500, 151, 16, in, out)
+	eval := all[150]
+	batches := all[:150]
+	loss := func(params tensor.Vector) float64 {
+		m := &LinearModel{W: &tensor.Matrix{Rows: out, Cols: in, Data: params}}
+		total := 0.0
+		g := tensor.NewVector(len(params))
+		for _, ex := range eval {
+			total += m.Grad(g, ex)
+		}
+		return total / float64(len(eval))
+	}
+	before := loss(model.Params())
+	after, err := TrainDataParallel(4, model, batches, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loss(after); got > before*0.2 {
+		t.Fatalf("training did not reduce loss: %g -> %g", before, got)
+	}
+}
+
+func TestDataParallelRejectsBadShapes(t *testing.T) {
+	model := NewLinearModel(1, 3, 2)
+	batches := [][]Example{SyntheticBatch(1, 10, 3, 2)}
+	if _, err := TrainDataParallel(4, model, batches, 0.01); err == nil {
+		t.Fatal("batch 10 over 4 ranks must error")
+	}
+	if _, err := TrainDataParallel(0, model, batches, 0.01); err == nil {
+		t.Fatal("0 ranks must error")
+	}
+}
+
+// Pipeline-parallel gradients equal the serial chain rule.
+func TestTwoStagePipelineMatchesChainRule(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	in, hid, out := 5, 4, 3
+	w1 := tensor.RandnMatrix(rng, hid, in, 0.5)
+	w2 := tensor.RandnMatrix(rng, out, hid, 0.5)
+	micro := SyntheticBatch(77, 12, in, out)
+
+	g1, g2 := TwoStagePipeline(w1, w2, micro)
+
+	// Serial reference.
+	wantG1 := tensor.NewVector(len(w1.Data))
+	wantG2 := tensor.NewVector(len(w2.Data))
+	gm1 := &tensor.Matrix{Rows: hid, Cols: in, Data: wantG1}
+	gm2 := &tensor.Matrix{Rows: out, Cols: hid, Data: wantG2}
+	for _, ex := range micro {
+		h := w1.MulVec(ex.X)
+		pred := w2.MulVec(h)
+		pred.Sub(ex.Y)
+		gm2.AddOuter(1, pred, h)
+		dh := w2.MulVecT(pred)
+		gm1.AddOuter(1, dh, ex.X)
+	}
+	if !g1.AllClose(wantG1, 1e-4) {
+		t.Fatalf("stage-0 gradient off by %g", g1.MaxAbsDiff(wantG1))
+	}
+	if !g2.AllClose(wantG2, 1e-4) {
+		t.Fatalf("stage-1 gradient off by %g", g2.MaxAbsDiff(wantG2))
+	}
+}

@@ -1,0 +1,187 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+
+	"holmes/internal/optimizer"
+	"holmes/internal/tensor"
+)
+
+// LinearModel is the small real model the executor trains: y = W·x, mean
+// squared error. It is deliberately simple — the point is validating the
+// distributed schedules (gradient synchronization, sharded optimizer,
+// pipeline hand-off), not the model.
+type LinearModel struct {
+	W *tensor.Matrix
+}
+
+// NewLinearModel creates an out×in model with deterministic random
+// weights.
+func NewLinearModel(seed int64, in, out int) *LinearModel {
+	rng := rand.New(rand.NewSource(seed))
+	return &LinearModel{W: tensor.RandnMatrix(rng, out, in, 0.3)}
+}
+
+// Clone deep-copies the model.
+func (m *LinearModel) Clone() *LinearModel { return &LinearModel{W: m.W.Clone()} }
+
+// Params returns the flattened parameter vector (aliasing the model).
+func (m *LinearModel) Params() tensor.Vector { return m.W.Data }
+
+// Example is one training pair.
+type Example struct {
+	X, Y tensor.Vector
+}
+
+// Grad computes dLoss/dW for one example under ½‖Wx−y‖² and accumulates
+// into g (same layout as Params). Returns the loss.
+func (m *LinearModel) Grad(g tensor.Vector, ex Example) float64 {
+	pred := m.W.MulVec(ex.X)
+	pred.Sub(ex.Y) // residual r = Wx − y
+	gm := &tensor.Matrix{Rows: m.W.Rows, Cols: m.W.Cols, Data: g}
+	gm.AddOuter(1, pred, ex.X)
+	return 0.5 * pred.Dot(pred)
+}
+
+// BatchGrad accumulates the mean gradient over a batch into a fresh
+// vector.
+func (m *LinearModel) BatchGrad(batch []Example) tensor.Vector {
+	g := tensor.NewVector(len(m.Params()))
+	for _, ex := range batch {
+		m.Grad(g, ex)
+	}
+	if len(batch) > 0 {
+		g.Scale(1 / float32(len(batch)))
+	}
+	return g
+}
+
+// SyntheticBatch generates a deterministic batch for a linear teacher
+// model (so losses genuinely decrease during the tests).
+func SyntheticBatch(seed int64, n, in, out int) []Example {
+	rng := rand.New(rand.NewSource(seed))
+	teacher := tensor.RandnMatrix(rng, out, in, 0.5)
+	return teacherBatch(rng, teacher, n)
+}
+
+// SyntheticDataset generates `steps` batches drawn from one shared linear
+// teacher, so that sequential training against them converges.
+func SyntheticDataset(seed int64, steps, batchSize, in, out int) [][]Example {
+	rng := rand.New(rand.NewSource(seed))
+	teacher := tensor.RandnMatrix(rng, out, in, 0.5)
+	out2 := make([][]Example, steps)
+	for i := range out2 {
+		out2[i] = teacherBatch(rng, teacher, batchSize)
+	}
+	return out2
+}
+
+func teacherBatch(rng *rand.Rand, teacher *tensor.Matrix, n int) []Example {
+	batch := make([]Example, n)
+	for i := range batch {
+		x := tensor.Randn(rng, teacher.Cols, 1)
+		y := teacher.MulVec(x)
+		batch[i] = Example{X: x, Y: y}
+	}
+	return batch
+}
+
+// TrainDataParallel runs `steps` of data-parallel training on d ranks
+// with the distributed (sharded) optimizer: each rank computes gradients
+// on its shard of every batch, reduce-scatters gradients, updates its
+// parameter shard, and all-gathers the updated parameters — the exact
+// communication pattern Holmes schedules onto RDMA NICs. Returns the final
+// (replicated) parameters.
+func TrainDataParallel(d int, model *LinearModel, batches [][]Example, lr float64) (tensor.Vector, error) {
+	if d <= 0 {
+		return nil, fmt.Errorf("runtime: world size %d", d)
+	}
+	for _, b := range batches {
+		if len(b)%d != 0 {
+			return nil, fmt.Errorf("runtime: batch size %d not divisible by %d ranks", len(b), d)
+		}
+	}
+	n := len(model.Params())
+	results := make([]tensor.Vector, d)
+	group := make([]int, d)
+	for i := range group {
+		group[i] = i
+	}
+	SpawnWorld(d, func(rank int, tr *Transport) {
+		comm := NewComm(tr, group, rank)
+		local := model.Clone()
+		opt := optimizer.NewShardedAdam(lr, n, rank, d)
+		for _, batch := range batches {
+			per := len(batch) / d
+			shard := batch[rank*per : (rank+1)*per]
+			grad := local.BatchGrad(shard)
+			grad.Scale(1 / float32(d)) // mean over the global batch
+			comm.ReduceScatter(grad)
+			opt.UpdateShard(opt.ShardOf(local.Params()), opt.ShardOf(grad))
+			comm.AllGather(local.Params())
+		}
+		results[rank] = local.Params().Clone()
+	})
+	// All replicas must agree exactly (same reduction order on all ranks).
+	for r := 1; r < d; r++ {
+		if !results[r].AllClose(results[0], 1e-5) {
+			return nil, fmt.Errorf("runtime: replica %d diverged from replica 0 by %g",
+				r, results[r].MaxAbsDiff(results[0]))
+		}
+	}
+	return results[0], nil
+}
+
+// TrainSerial is the single-process reference: full-batch gradient, full
+// Adam.
+func TrainSerial(model *LinearModel, batches [][]Example, lr float64) tensor.Vector {
+	local := model.Clone()
+	opt := optimizer.NewAdam(lr)
+	for _, batch := range batches {
+		grad := local.BatchGrad(batch)
+		opt.Step(local.Params(), grad)
+	}
+	return local.Params().Clone()
+}
+
+// TwoStagePipeline runs a real two-stage pipeline-parallel forward and
+// backward over micro-batches for the composition y = W2·(W1·x): rank 0
+// holds W1, rank 1 holds W2, activations and gradients travel as real
+// messages. It returns each stage's accumulated gradient so tests can
+// compare against the serially computed chain rule.
+func TwoStagePipeline(w1, w2 *tensor.Matrix, micro []Example) (g1, g2 tensor.Vector) {
+	g1 = tensor.NewVector(len(w1.Data))
+	g2 = tensor.NewVector(len(w2.Data))
+	SpawnWorld(2, func(rank int, tr *Transport) {
+		switch rank {
+		case 0:
+			gm := &tensor.Matrix{Rows: w1.Rows, Cols: w1.Cols, Data: g1}
+			// Forwards stream asynchronously (NCCL-style isend) while the
+			// main loop consumes backward gradients, so the schedule never
+			// deadlocks on channel buffering regardless of micro-batch
+			// count.
+			go func() {
+				for _, ex := range micro {
+					h := w1.MulVec(ex.X)
+					tr.Send(0, 1, h) // forward activation
+				}
+			}()
+			for _, ex := range micro {
+				dh := tr.Recv(1, 0) // backward gradient w.r.t. h
+				gm.AddOuter(1, dh, ex.X)
+			}
+		case 1:
+			gm := &tensor.Matrix{Rows: w2.Rows, Cols: w2.Cols, Data: g2}
+			for _, ex := range micro {
+				h := tr.Recv(0, 1)
+				pred := w2.MulVec(h)
+				pred.Sub(ex.Y) // r = W2·h − y
+				gm.AddOuter(1, pred, h)
+				dh := w2.MulVecT(pred)
+				tr.Send(1, 0, dh)
+			}
+		}
+	})
+	return g1, g2
+}

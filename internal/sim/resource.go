@@ -1,0 +1,66 @@
+package sim
+
+// Resource models an exclusive or counted resource in virtual time (for
+// example, a GPU's compute engine, which runs one tasklet at a time, or a
+// NIC send engine with a fixed number of channels). Acquisitions queue in
+// FIFO order, preserving determinism.
+type Resource struct {
+	eng      *Engine
+	capacity int
+	inUse    int
+	queue    []func()
+}
+
+// NewResource creates a resource with the given capacity (number of
+// simultaneous holders). Capacity must be positive.
+func NewResource(eng *Engine, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{eng: eng, capacity: capacity}
+}
+
+// InUse reports the number of current holders.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen reports how many acquisitions are waiting.
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+// Acquire requests one unit. fn runs (at the current virtual time or later)
+// once a unit is available; the holder must call Release exactly once.
+func (r *Resource) Acquire(fn func()) {
+	if r.inUse < r.capacity {
+		r.inUse++
+		fn()
+		return
+	}
+	r.queue = append(r.queue, fn)
+}
+
+// Release returns one unit and hands it to the longest-waiting acquirer,
+// if any.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: Release without Acquire")
+	}
+	if len(r.queue) > 0 {
+		next := r.queue[0]
+		r.queue = r.queue[1:]
+		next()
+		return
+	}
+	r.inUse--
+}
+
+// Use acquires the resource, holds it for duration d of virtual time, then
+// releases it and invokes then (which may be nil).
+func (r *Resource) Use(d float64, then func()) {
+	r.Acquire(func() {
+		r.eng.After(d, func() {
+			r.Release()
+			if then != nil {
+				then()
+			}
+		})
+	})
+}

@@ -1,0 +1,175 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine drives every timed component in the repository: the flow-level
+// network simulator, the pipeline-schedule executor, and the end-to-end
+// trainer. Time is virtual (measured in seconds as float64); events fire in
+// (time, sequence) order so that simulations are fully reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in seconds since the start of the
+// simulation.
+type Time = float64
+
+// Event is a scheduled callback. Events compare by (At, seq): two events at
+// the same instant fire in scheduling order, which keeps runs deterministic.
+type Event struct {
+	At    Time
+	Fn    func()
+	seq   uint64
+	index int // heap index; -1 once popped or cancelled
+	dead  bool
+}
+
+// Cancel prevents a pending event from firing. Cancelling an already-fired
+// or already-cancelled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.dead = true
+	}
+}
+
+// eventHeap implements container/heap over pending events.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; create
+// one with NewEngine.
+type Engine struct {
+	now     Time
+	pending eventHeap
+	nextSeq uint64
+	fired   uint64
+	running bool
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are scheduled but not yet fired.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.pending {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it would silently reorder causality.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if math.IsNaN(t) {
+		panic("sim: scheduling event at NaN time")
+	}
+	ev := &Event{At: t, Fn: fn, seq: e.nextSeq}
+	e.nextSeq++
+	heap.Push(&e.pending, ev)
+	return ev
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Engine) After(d float64, fn func()) *Event {
+	return e.At(e.now+d, fn)
+}
+
+// Step fires the next pending event, advancing the clock to its time.
+// It reports whether an event fired.
+func (e *Engine) Step() bool {
+	for len(e.pending) > 0 {
+		ev := heap.Pop(&e.pending).(*Event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.At
+		e.fired++
+		ev.Fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until none remain, returning the final virtual time.
+func (e *Engine) Run() Time {
+	if e.running {
+		panic("sim: Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil fires events with At <= deadline; the clock ends at
+// min(deadline, last event time) if events remain, else at the last event.
+func (e *Engine) RunUntil(deadline Time) Time {
+	for len(e.pending) > 0 {
+		// Peek: pending[0] is the earliest live event only after skipping
+		// dead ones, so pop-and-check like Step does.
+		next := e.pending[0]
+		if next.dead {
+			heap.Pop(&e.pending)
+			continue
+		}
+		if next.At > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Reset returns the engine to time zero with no pending events.
+func (e *Engine) Reset() {
+	e.now = 0
+	e.pending = nil
+	e.nextSeq = 0
+	e.fired = 0
+}

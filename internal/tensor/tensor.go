@@ -1,0 +1,229 @@
+// Package tensor provides the minimal dense float32 vector/matrix
+// operations the real (goroutine-based) executor needs: enough to run
+// small models, compute gradients, and verify that distributed training
+// schedules produce numerically correct results. It deliberately avoids
+// cleverness — correctness and clarity over speed.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Vector is a dense float32 vector.
+type Vector []float32
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Randn fills a new length-n vector with N(0, std²) samples from rng.
+func Randn(rng *rand.Rand, n int, std float64) Vector {
+	v := NewVector(n)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64() * std)
+	}
+	return v
+}
+
+// Clone returns an independent copy.
+func (v Vector) Clone() Vector {
+	c := NewVector(len(v))
+	copy(c, v)
+	return c
+}
+
+// Zero sets every element to 0.
+func (v Vector) Zero() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Add accumulates o into v element-wise. Lengths must match.
+func (v Vector) Add(o Vector) {
+	checkLen(len(v), len(o))
+	for i := range v {
+		v[i] += o[i]
+	}
+}
+
+// Sub subtracts o from v element-wise.
+func (v Vector) Sub(o Vector) {
+	checkLen(len(v), len(o))
+	for i := range v {
+		v[i] -= o[i]
+	}
+}
+
+// Scale multiplies every element by s.
+func (v Vector) Scale(s float32) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// Axpy computes v += a*x.
+func (v Vector) Axpy(a float32, x Vector) {
+	checkLen(len(v), len(x))
+	for i := range v {
+		v[i] += a * x[i]
+	}
+}
+
+// Dot returns the inner product of v and o in float64 for stability.
+func (v Vector) Dot(o Vector) float64 {
+	checkLen(len(v), len(o))
+	var s float64
+	for i := range v {
+		s += float64(v[i]) * float64(o[i])
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm.
+func (v Vector) Norm2() float64 { return math.Sqrt(v.Dot(v)) }
+
+// MaxAbsDiff returns max_i |v_i - o_i|.
+func (v Vector) MaxAbsDiff(o Vector) float64 {
+	checkLen(len(v), len(o))
+	var m float64
+	for i := range v {
+		d := math.Abs(float64(v[i]) - float64(o[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// AllClose reports whether every element pair differs by at most tol.
+func (v Vector) AllClose(o Vector, tol float64) bool {
+	return len(v) == len(o) && v.MaxAbsDiff(o) <= tol
+}
+
+// Chunk splits v into n nearly equal contiguous pieces (the first
+// len(v)%n pieces get one extra element), sharing the underlying storage.
+// This is the shard layout used by reduce-scatter/all-gather.
+func (v Vector) Chunk(n int) []Vector {
+	if n <= 0 {
+		panic(fmt.Sprintf("tensor: chunk count %d", n))
+	}
+	base, extra := len(v)/n, len(v)%n
+	out := make([]Vector, n)
+	off := 0
+	for i := 0; i < n; i++ {
+		sz := base
+		if i < extra {
+			sz++
+		}
+		out[i] = v[off : off+sz]
+		off += sz
+	}
+	return out
+}
+
+// Concat joins vectors into one new vector.
+func Concat(parts []Vector) Vector {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := NewVector(total)
+	off := 0
+	for _, p := range parts {
+		copy(out[off:], p)
+		off += len(p)
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of the elements (0 for empty).
+func (v Vector) Mean() float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += float64(x)
+	}
+	return s / float64(len(v))
+}
+
+func checkLen(a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("tensor: length mismatch %d vs %d", a, b))
+	}
+}
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       Vector
+}
+
+// NewMatrix returns a zero r×c matrix.
+func NewMatrix(r, c int) *Matrix {
+	return &Matrix{Rows: r, Cols: c, Data: NewVector(r * c)}
+}
+
+// RandnMatrix returns an r×c matrix with N(0, std²) entries.
+func RandnMatrix(rng *rand.Rand, r, c int, std float64) *Matrix {
+	return &Matrix{Rows: r, Cols: c, Data: Randn(rng, r*c, std)}
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	return &Matrix{Rows: m.Rows, Cols: m.Cols, Data: m.Data.Clone()}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, x float32) { m.Data[i*m.Cols+j] = x }
+
+// Row returns row i as a view.
+func (m *Matrix) Row(i int) Vector { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// MulVec computes y = M·x.
+func (m *Matrix) MulVec(x Vector) Vector {
+	checkLen(m.Cols, len(x))
+	y := NewVector(m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, w := range row {
+			s += float64(w) * float64(x[j])
+		}
+		y[i] = float32(s)
+	}
+	return y
+}
+
+// MulVecT computes y = Mᵀ·x.
+func (m *Matrix) MulVecT(x Vector) Vector {
+	checkLen(m.Rows, len(x))
+	y := NewVector(m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		xi := x[i]
+		for j, w := range row {
+			y[j] += xi * w
+		}
+	}
+	return y
+}
+
+// AddOuter accumulates M += a · x·yᵀ (gradient of a linear layer).
+func (m *Matrix) AddOuter(a float32, x, y Vector) {
+	checkLen(m.Rows, len(x))
+	checkLen(m.Cols, len(y))
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		ax := a * x[i]
+		for j := range row {
+			row[j] += ax * y[j]
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorArithmetic(t *testing.T) {
+	v := Vector{1, 2, 3}
+	o := Vector{4, 5, 6}
+	v.Add(o)
+	if v[0] != 5 || v[1] != 7 || v[2] != 9 {
+		t.Fatalf("Add: %v", v)
+	}
+	v.Sub(o)
+	if v[0] != 1 || v[1] != 2 || v[2] != 3 {
+		t.Fatalf("Sub: %v", v)
+	}
+	v.Scale(2)
+	if v[0] != 2 || v[2] != 6 {
+		t.Fatalf("Scale: %v", v)
+	}
+	v.Axpy(0.5, o)
+	if v[0] != 4 || v[1] != 6.5 || v[2] != 9 {
+		t.Fatalf("Axpy: %v", v)
+	}
+	v.Zero()
+	if v.Norm2() != 0 {
+		t.Fatalf("Zero: %v", v)
+	}
+}
+
+func TestDotAndNorm(t *testing.T) {
+	v := Vector{3, 4}
+	if got := v.Dot(v); got != 25 {
+		t.Fatalf("Dot = %v", got)
+	}
+	if got := v.Norm2(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Norm2 = %v", got)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	Vector{1}.Add(Vector{1, 2})
+}
+
+func TestChunkConcatRoundTrip(t *testing.T) {
+	f := func(data []float32, nRaw uint8) bool {
+		n := int(nRaw%7) + 1
+		v := Vector(data)
+		parts := v.Chunk(n)
+		if len(parts) != n {
+			return false
+		}
+		// Sizes differ by at most one and decrease monotonically.
+		for i := 1; i < n; i++ {
+			if len(parts[i]) > len(parts[i-1]) {
+				return false
+			}
+			if len(parts[i-1])-len(parts[i]) > 1 {
+				return false
+			}
+		}
+		back := Concat(parts)
+		return back.AllClose(v, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkSharesStorage(t *testing.T) {
+	v := Vector{1, 2, 3, 4}
+	parts := v.Chunk(2)
+	parts[0][0] = 42
+	if v[0] != 42 {
+		t.Fatal("chunks must alias the parent storage")
+	}
+}
+
+func TestChunkZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Chunk(0) did not panic")
+		}
+	}()
+	Vector{1}.Chunk(0)
+}
+
+func TestMatrixMulVec(t *testing.T) {
+	m := NewMatrix(2, 3)
+	// [[1 2 3],[4 5 6]]
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			m.Set(i, j, float32(i*3+j+1))
+		}
+	}
+	y := m.MulVec(Vector{1, 1, 1})
+	if y[0] != 6 || y[1] != 15 {
+		t.Fatalf("MulVec = %v", y)
+	}
+	yt := m.MulVecT(Vector{1, 1})
+	if yt[0] != 5 || yt[1] != 7 || yt[2] != 9 {
+		t.Fatalf("MulVecT = %v", yt)
+	}
+}
+
+// Property: (Mᵀu)·v == u·(Mv) — transpose adjoint identity.
+func TestTransposeAdjointProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		r, c := rng.Intn(8)+1, rng.Intn(8)+1
+		m := RandnMatrix(rng, r, c, 1)
+		u := Randn(rng, r, 1)
+		v := Randn(rng, c, 1)
+		lhs := m.MulVecT(u).Dot(v)
+		rhs := u.Dot(m.MulVec(v))
+		if math.Abs(lhs-rhs) > 1e-3*(1+math.Abs(lhs)) {
+			t.Fatalf("adjoint identity violated: %v vs %v", lhs, rhs)
+		}
+	}
+}
+
+func TestAddOuterIsLinearGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewMatrix(3, 2)
+	x := Randn(rng, 3, 1)
+	y := Randn(rng, 2, 1)
+	m.AddOuter(2, x, y)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			want := 2 * x[i] * y[j]
+			if math.Abs(float64(m.At(i, j)-want)) > 1e-6 {
+				t.Fatalf("AddOuter[%d,%d] = %v, want %v", i, j, m.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := Vector{1, 2}
+	c := v.Clone()
+	c[0] = 9
+	if v[0] != 1 {
+		t.Fatal("Clone must not alias")
+	}
+	m := NewMatrix(1, 2)
+	mc := m.Clone()
+	mc.Set(0, 0, 5)
+	if m.At(0, 0) != 0 {
+		t.Fatal("Matrix Clone must not alias")
+	}
+}
+
+func TestMeanAndMaxAbsDiff(t *testing.T) {
+	v := Vector{1, 2, 3}
+	if v.Mean() != 2 {
+		t.Fatalf("Mean = %v", v.Mean())
+	}
+	if (Vector{}).Mean() != 0 {
+		t.Fatal("empty Mean must be 0")
+	}
+	o := Vector{1, 5, 3}
+	if d := v.MaxAbsDiff(o); d != 3 {
+		t.Fatalf("MaxAbsDiff = %v", d)
+	}
+	if !v.AllClose(v, 0) || v.AllClose(o, 1) {
+		t.Fatal("AllClose wrong")
+	}
+}

@@ -1,0 +1,221 @@
+package topology
+
+import "fmt"
+
+// Hardware constants reflecting the paper's testbed (Appendix A): NVIDIA
+// HGX nodes with 8 × A100-80GB, 4 × 200 Gb/s InfiniBand NICs per IB node,
+// 2 × 200 Gb/s RoCE NICs per RoCE node, and a 25 Gb/s Ethernet NIC
+// everywhere.
+const (
+	DefaultGPUsPerNode = 8
+	// A100MemBytes is the device memory of an A100-80GB.
+	A100MemBytes = 80 << 30
+
+	IBGbps       = 200
+	RoCEGbps     = 200
+	EthernetGbps = 25
+
+	// NICs per node, per the artifact description ("200G Infiniband *4 or
+	// 200G ROCE *2"). This asymmetry, not line rate, is why RoCE clusters
+	// trail IB clusters at equal per-NIC bandwidth (Table 1).
+	IBNICsPerNode   = 4
+	RoCENICsPerNode = 2
+)
+
+// ClusterSpec describes one cluster for the builder.
+type ClusterSpec struct {
+	// Name labels the cluster; if empty a name is generated.
+	Name string
+	// NIC is the RDMA technology (InfiniBand, RoCE) or Ethernet for a
+	// commodity cluster.
+	NIC NICType
+	// Nodes is f_i, the node count.
+	Nodes int
+	// NICsPerNode overrides the per-technology default when positive.
+	NICsPerNode int
+	// GbpsPerNIC overrides the per-technology default when positive.
+	GbpsPerNIC float64
+}
+
+// Spec describes a whole topology for the builder.
+type Spec struct {
+	Clusters    []ClusterSpec
+	GPUsPerNode int      // defaults to DefaultGPUsPerNode
+	GPUMemBytes int64    // defaults to A100MemBytes
+	Intra       LinkType // defaults to NVLink
+	EthGbps     float64  // defaults to EthernetGbps
+}
+
+// Build materializes a topology from a spec.
+func Build(spec Spec) (*Topology, error) {
+	if len(spec.Clusters) == 0 {
+		return nil, fmt.Errorf("topology: spec has no clusters")
+	}
+	g := spec.GPUsPerNode
+	if g == 0 {
+		g = DefaultGPUsPerNode
+	}
+	if g < 0 {
+		return nil, fmt.Errorf("topology: negative GPUsPerNode %d", g)
+	}
+	mem := spec.GPUMemBytes
+	if mem == 0 {
+		mem = A100MemBytes
+	}
+	eth := spec.EthGbps
+	if eth == 0 {
+		eth = EthernetGbps
+	}
+	intra := spec.Intra
+	if intra != PCIe && intra != NVLink {
+		intra = NVLink
+	}
+
+	t := &Topology{GPUsPerNode: g}
+	rank, nodeIdx := 0, 0
+	for ci, cs := range spec.Clusters {
+		if cs.Nodes <= 0 {
+			return nil, fmt.Errorf("topology: cluster %d has %d nodes", ci, cs.Nodes)
+		}
+		name := cs.Name
+		if name == "" {
+			name = fmt.Sprintf("%s-Cluster%d", cs.NIC, ci+1)
+		}
+		cluster := &Cluster{Index: ci, Name: name, NICType: cs.NIC}
+		nics, err := nicsFor(cs)
+		if err != nil {
+			return nil, err
+		}
+		for k := 0; k < cs.Nodes; k++ {
+			node := &Node{
+				Index:          nodeIdx,
+				Cluster:        ci,
+				NICs:           nics,
+				EthNIC:         NIC{Type: Ethernet, Gbps: eth},
+				Intra:          intra,
+				MemBytesPerGPU: mem,
+			}
+			for j := 0; j < g; j++ {
+				d := &Device{Rank: rank, Node: nodeIdx, Cluster: ci, Local: j}
+				node.Devices = append(node.Devices, d)
+				t.devices = append(t.devices, d)
+				rank++
+			}
+			cluster.Nodes = append(cluster.Nodes, node)
+			t.nodes = append(t.nodes, node)
+			nodeIdx++
+		}
+		t.Clusters = append(t.Clusters, cluster)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func nicsFor(cs ClusterSpec) ([]NIC, error) {
+	count, gbps := cs.NICsPerNode, cs.GbpsPerNIC
+	switch cs.NIC {
+	case InfiniBand:
+		if count == 0 {
+			count = IBNICsPerNode
+		}
+		if gbps == 0 {
+			gbps = IBGbps
+		}
+	case RoCE:
+		if count == 0 {
+			count = RoCENICsPerNode
+		}
+		if gbps == 0 {
+			gbps = RoCEGbps
+		}
+	case Ethernet:
+		// Ethernet-only cluster: no RDMA NICs beyond the implicit EthNIC.
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("topology: unknown NIC type %v", cs.NIC)
+	}
+	if count < 0 || gbps < 0 {
+		return nil, fmt.Errorf("topology: negative NIC count/bandwidth")
+	}
+	nics := make([]NIC, count)
+	for i := range nics {
+		nics[i] = NIC{Type: cs.NIC, Gbps: gbps}
+	}
+	return nics, nil
+}
+
+// MustBuild is Build that panics on error, for tests and presets.
+func MustBuild(spec Spec) *Topology {
+	t, err := Build(spec)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// The four NIC environments of §4.1, parameterized by total node count.
+
+// IBEnv builds a single InfiniBand cluster with n nodes.
+func IBEnv(n int) *Topology {
+	return MustBuild(Spec{Clusters: []ClusterSpec{{NIC: InfiniBand, Nodes: n}}})
+}
+
+// RoCEEnv builds a single RoCE cluster with n nodes.
+func RoCEEnv(n int) *Topology {
+	return MustBuild(Spec{Clusters: []ClusterSpec{{NIC: RoCE, Nodes: n}}})
+}
+
+// EthernetEnv builds a single Ethernet-only cluster with n nodes.
+func EthernetEnv(n int) *Topology {
+	return MustBuild(Spec{Clusters: []ClusterSpec{{NIC: Ethernet, Nodes: n}}})
+}
+
+// HybridEnv builds the paper's Hybrid environment: two clusters with the
+// same number of nodes (n must be even), one InfiniBand and one RoCE,
+// connected only by Ethernet.
+func HybridEnv(n int) *Topology {
+	if n%2 != 0 {
+		panic(fmt.Sprintf("topology: hybrid environment needs an even node count, got %d", n))
+	}
+	return MustBuild(Spec{Clusters: []ClusterSpec{
+		{NIC: InfiniBand, Nodes: n / 2},
+		{NIC: RoCE, Nodes: n / 2},
+	}})
+}
+
+// EnvName identifies one of the paper's four NIC environments.
+type EnvName string
+
+const (
+	EnvInfiniBand EnvName = "InfiniBand"
+	EnvRoCE       EnvName = "RoCE"
+	EnvEthernet   EnvName = "Ethernet"
+	EnvHybrid     EnvName = "Hybrid"
+)
+
+// Env builds the named environment with n total nodes.
+func Env(name EnvName, n int) (*Topology, error) {
+	switch name {
+	case EnvInfiniBand:
+		return Build(Spec{Clusters: []ClusterSpec{{NIC: InfiniBand, Nodes: n}}})
+	case EnvRoCE:
+		return Build(Spec{Clusters: []ClusterSpec{{NIC: RoCE, Nodes: n}}})
+	case EnvEthernet:
+		return Build(Spec{Clusters: []ClusterSpec{{NIC: Ethernet, Nodes: n}}})
+	case EnvHybrid:
+		if n%2 != 0 {
+			return nil, fmt.Errorf("topology: hybrid environment needs even node count, got %d", n)
+		}
+		return Build(Spec{Clusters: []ClusterSpec{
+			{NIC: InfiniBand, Nodes: n / 2},
+			{NIC: RoCE, Nodes: n / 2},
+		}})
+	default:
+		return nil, fmt.Errorf("topology: unknown environment %q", name)
+	}
+}
+
+// AllEnvs lists the four environments in the order the paper's tables use.
+var AllEnvs = []EnvName{EnvInfiniBand, EnvRoCE, EnvEthernet, EnvHybrid}

@@ -1,0 +1,127 @@
+// Package trace exports pipeline schedules as Chrome trace-event JSON
+// (chrome://tracing, Perfetto): one row per pipeline stage, one slice per
+// forward/backward op. The trace is built from an idealized replay of the
+// schedule at given per-stage compute times (communication excluded), so
+// bubbles are visible at a glance.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"holmes/internal/pipeline"
+)
+
+// Event is one Chrome trace "complete" event (ph = "X").
+type Event struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+// Build replays the schedule with per-stage forward/backward times and a
+// fixed per-hop communication delay, returning one event per op. The
+// replay respects the same dependencies the DES executor enforces.
+func Build(s *pipeline.Schedule, tf, tb []float64, hop float64) ([]Event, error) {
+	p := s.Stages
+	if len(tf) != p || len(tb) != p {
+		return nil, fmt.Errorf("trace: compute vectors must have %d entries", p)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	// Earliest-start replay in schedule order.
+	type key struct {
+		stage int
+		op    pipeline.Op
+	}
+	endOf := make(map[key]float64)
+	stageFree := make([]float64, p)
+	pos := make([]int, p)
+	var events []Event
+	remaining := p * 2 * s.Micro
+	for remaining > 0 {
+		progressed := false
+		for st := 0; st < p; st++ {
+			for pos[st] < len(s.Ops[st]) {
+				op := s.Ops[st][pos[st]]
+				ready := 0.0
+				ok := true
+				switch op.Kind {
+				case pipeline.Forward:
+					if st > 0 {
+						if end, done := endOf[key{st - 1, op}]; done {
+							ready = end + hop
+						} else {
+							ok = false
+						}
+					}
+				case pipeline.Backward:
+					if st == p-1 {
+						if end, done := endOf[key{st, pipeline.Op{Kind: pipeline.Forward, Micro: op.Micro}}]; done {
+							ready = end
+						} else {
+							ok = false
+						}
+					} else {
+						if end, done := endOf[key{st + 1, op}]; done {
+							ready = end + hop
+						} else {
+							ok = false
+						}
+					}
+				}
+				if !ok {
+					break
+				}
+				start := ready
+				if stageFree[st] > start {
+					start = stageFree[st]
+				}
+				dur := tf[st]
+				if op.Kind == pipeline.Backward {
+					dur = tb[st]
+				}
+				end := start + dur
+				stageFree[st] = end
+				endOf[key{st, op}] = end
+				events = append(events, Event{
+					Name: op.String(),
+					Ph:   "X",
+					Ts:   start * 1e6,
+					Dur:  dur * 1e6,
+					Pid:  1,
+					Tid:  st,
+				})
+				pos[st]++
+				remaining--
+				progressed = true
+			}
+		}
+		if !progressed {
+			return nil, fmt.Errorf("trace: replay deadlocked")
+		}
+	}
+	return events, nil
+}
+
+// Write emits the events as a Chrome trace JSON array.
+func Write(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}
+
+// Makespan returns the end of the last event in seconds.
+func Makespan(events []Event) float64 {
+	end := 0.0
+	for _, e := range events {
+		if t := (e.Ts + e.Dur) / 1e6; t > end {
+			end = t
+		}
+	}
+	return end
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"holmes/internal/pipeline"
+)
+
+func TestBuildCompleteAndOrdered(t *testing.T) {
+	s := pipeline.OneFOneB(4, 8)
+	tf := []float64{1, 1, 1, 1}
+	tb := []float64{2, 2, 2, 2}
+	events, err := Build(s, tf, tb, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4*2*8 {
+		t.Fatalf("got %d events, want %d", len(events), 64)
+	}
+	// Per-stage events must not overlap.
+	byStage := map[int][]Event{}
+	for _, e := range events {
+		byStage[e.Tid] = append(byStage[e.Tid], e)
+	}
+	for st, evs := range byStage {
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Ts < evs[i-1].Ts+evs[i-1].Dur-1e-9 {
+				t.Fatalf("stage %d events overlap", st)
+			}
+		}
+	}
+}
+
+func TestMakespanMatchesAnalyticWithoutComm(t *testing.T) {
+	p, m := 4, 12
+	s := pipeline.OneFOneB(p, m)
+	tf := []float64{0.01, 0.01, 0.01, 0.01}
+	tb := []float64{0.02, 0.02, 0.02, 0.02}
+	events, err := Build(s, tf, tb, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pipeline.AnalyticIterTime(tf, tb, 0, m)
+	if got := Makespan(events); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("makespan %v, want %v", got, want)
+	}
+}
+
+func TestHopDelayStretchesMakespan(t *testing.T) {
+	s := pipeline.OneFOneB(2, 4)
+	tf := []float64{1, 1}
+	tb := []float64{2, 2}
+	a, _ := Build(s, tf, tb, 0)
+	b, _ := Build(s, tf, tb, 0.5)
+	if Makespan(b) <= Makespan(a) {
+		t.Fatal("hop delay must stretch the trace")
+	}
+}
+
+func TestWriteValidJSON(t *testing.T) {
+	s := pipeline.OneFOneB(2, 2)
+	events, _ := Build(s, []float64{1, 1}, []float64{2, 2}, 0)
+	var buf bytes.Buffer
+	if err := Write(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var back []Event
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("round trip lost events: %d vs %d", len(back), len(events))
+	}
+	if back[0].Ph != "X" {
+		t.Fatalf("phase = %q", back[0].Ph)
+	}
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	s := pipeline.OneFOneB(2, 2)
+	if _, err := Build(s, []float64{1}, []float64{1, 1}, 0); err == nil {
+		t.Fatal("short tf must fail")
+	}
+	bad := &pipeline.Schedule{Stages: 1, Micro: 1, Ops: [][]pipeline.Op{{}}}
+	if _, err := Build(bad, []float64{1}, []float64{1}, 0); err == nil {
+		t.Fatal("invalid schedule must fail")
+	}
+}

@@ -1,0 +1,32 @@
+package trainer
+
+import (
+	"testing"
+
+	"holmes/internal/model"
+	"holmes/internal/topology"
+)
+
+// TestProbeTable1 prints the simulated Table 1 cells; used during
+// calibration and kept as a living record (assertions live in
+// trainer_test.go and the root bench suite).
+func TestProbeTable1(t *testing.T) {
+	pg := model.Group(1)
+	for _, env := range []topology.EnvName{topology.EnvInfiniBand, topology.EnvRoCE, topology.EnvEthernet, topology.EnvHybrid} {
+		topo, err := topology.Env(env, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := BaseOptions()
+		rep, err := Simulate(Config{
+			Topo: topo, Spec: pg.Spec,
+			TensorSize: pg.TensorSize, PipelineSize: pg.PipelineSize,
+			Framework: Holmes, Opt: &base,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-10s TFLOPS=%6.1f Throughput=%7.2f iter=%6.2fs rs=%6.3fs pipe=%6.2fs part=%v",
+			env, rep.TFLOPS, rep.Throughput, rep.IterSeconds, rep.ReduceScatterSeconds, rep.PipelineSeconds, rep.Partition)
+	}
+}

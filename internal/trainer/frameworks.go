@@ -1,0 +1,106 @@
+package trainer
+
+import "holmes/internal/comm"
+
+// Framework identifies a training framework behaviour profile. The
+// profiles reproduce how each framework schedules communication in a
+// heterogeneous NIC environment — the axis the paper's Figure 6/7 and
+// Table 4 comparisons vary.
+type Framework string
+
+const (
+	// Holmes: Automatic NIC Selection, Cross-Cluster Pipeline Parallelism,
+	// Self-Adapting Pipeline Partition, Overlapped Distributed Optimizer.
+	Holmes Framework = "Holmes"
+	// MegatronLM: one unified communication environment (Ethernet as soon
+	// as NICs are mixed), uniform partition, no communication overlap.
+	MegatronLM Framework = "Megatron-LM"
+	// MegatronDeepSpeed: like Megatron-LM plus ZeRO partitioning, whose
+	// per-iteration parameter all-gather adds traffic on the same unified
+	// (Ethernet) channels — the slowest profile in mixed environments.
+	MegatronDeepSpeed Framework = "Megatron-DeepSpeed"
+	// MegatronLLaMA: Megatron-LM plus an overlapped distributed optimizer
+	// (its "DistributedOptimizer" communication/computation parallelism),
+	// still on a unified NIC environment.
+	MegatronLLaMA Framework = "Megatron-LLaMA"
+)
+
+// Options are the mechanism knobs a framework profile fixes. Individual
+// knobs can be overridden after calling DefaultOptions — that is how the
+// Table 4 ablations are expressed.
+type Options struct {
+	// NICSelection: per-group automatic selection (Holmes) or one unified
+	// environment (traditional frameworks).
+	NICSelection comm.Selection
+	// SelfAdaptingPartition enables Eq. 4–5 stage division; otherwise
+	// uniform.
+	SelfAdaptingPartition bool
+	// OverlappedOptimizer buckets gradient reduce-scatter into the
+	// backward pass instead of waiting for the flush.
+	OverlappedOptimizer bool
+	// Alpha is the self-adapting partition hyper-parameter (paper: 1.05).
+	Alpha float64
+	// GPipeSchedule switches the pipeline schedule from 1F1B to GPipe
+	// (ablation only; every real profile uses 1F1B/PipeDream-Flush).
+	GPipeSchedule bool
+	// ExtraDPTraffic scales data-parallel bytes to model frameworks that
+	// move more than one gradient+param payload per iteration (ZeRO's
+	// partitioned states on Megatron-DeepSpeed): 1.0 = baseline.
+	ExtraDPTraffic float64
+	// ForcedPartition, when non-nil, bypasses the partition strategy with
+	// an explicit per-stage layer allocation (ablation studies).
+	ForcedPartition []int
+}
+
+// DefaultOptions returns the behaviour profile of a framework.
+func DefaultOptions(f Framework) Options {
+	switch f {
+	case Holmes:
+		return Options{
+			NICSelection:          comm.AutoSelection,
+			SelfAdaptingPartition: true,
+			OverlappedOptimizer:   true,
+			Alpha:                 1.05,
+			ExtraDPTraffic:        1,
+		}
+	case MegatronLM:
+		return Options{
+			NICSelection:   comm.UnifiedSelection,
+			Alpha:          1.05,
+			ExtraDPTraffic: 1,
+		}
+	case MegatronDeepSpeed:
+		return Options{
+			NICSelection:   comm.UnifiedSelection,
+			Alpha:          1.05,
+			ExtraDPTraffic: 1.6,
+		}
+	case MegatronLLaMA:
+		return Options{
+			NICSelection:        comm.UnifiedSelection,
+			OverlappedOptimizer: true,
+			Alpha:               1.05,
+			ExtraDPTraffic:      1,
+		}
+	default:
+		return Options{NICSelection: comm.AutoSelection, Alpha: 1.05, ExtraDPTraffic: 1}
+	}
+}
+
+// AllFrameworks lists the compared frameworks in the paper's Figure 6
+// order.
+var AllFrameworks = []Framework{MegatronDeepSpeed, MegatronLM, MegatronLLaMA, Holmes}
+
+// BaseOptions returns Holmes with only its placement components active —
+// Cross-Cluster Pipeline Parallelism and Automatic NIC Selection, uniform
+// partition, no optimizer overlap. This is the configuration behind the
+// paper's Tables 1 and 3 (the Table 3 hybrid cell for parameter group 3 on
+// 8 nodes equals Table 4's "w/o Above Two" row, pinning those tables to
+// this profile).
+func BaseOptions() Options {
+	return Options{
+		NICSelection:   comm.AutoSelection,
+		Alpha:          1.05,
+		ExtraDPTraffic: 1,
+	}
+}

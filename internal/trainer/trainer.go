@@ -1,0 +1,465 @@
+// Package trainer simulates one end-to-end LLM training iteration on a
+// heterogeneous-NIC topology: compute, the pipeline schedule, data-parallel
+// gradient synchronization, and the optimizer step, all sharing one
+// discrete-event fabric so that every contention effect the paper measures
+// (Tables 1, 3, 4; Figures 4–7) emerges from the same mechanism.
+//
+// The computational model: per-stage compute time comes from the Megatron
+// FLOPs formula at a fixed compute-only MFU; every byte of communication —
+// inter-stage activations/gradients, gradient reduce-scatter, parameter
+// all-gather — travels as flows on the netsim fabric, contending with
+// everything else in flight. The iteration ends when every data-parallel
+// group has reduced, gathered, and stepped.
+package trainer
+
+import (
+	"fmt"
+
+	"holmes/internal/collective"
+	"holmes/internal/comm"
+	"holmes/internal/model"
+	"holmes/internal/netsim"
+	"holmes/internal/parallel"
+	"holmes/internal/partition"
+	"holmes/internal/pipeline"
+	"holmes/internal/sim"
+	"holmes/internal/topology"
+)
+
+// Config describes one simulated training run.
+type Config struct {
+	Topo *topology.Topology
+	Spec model.Spec
+	// TensorSize and PipelineSize fix t and p; d = N/(t·p).
+	TensorSize   int
+	PipelineSize int
+	Framework    Framework
+	// Opt overrides the framework profile when non-nil (ablations).
+	Opt *Options
+	// Calib overrides calibration constants when non-nil.
+	Calib *Calibration
+}
+
+// Report is the outcome of one simulated iteration.
+type Report struct {
+	Framework Framework
+	Env       string
+	Degrees   parallel.Degrees
+	Partition partition.Result
+	Micro     int
+
+	// IterSeconds is one training iteration's wall time.
+	IterSeconds float64
+	// TFLOPS is achieved teraFLOP/s per GPU (the paper's metric).
+	TFLOPS float64
+	// Throughput is samples/s (the paper's metric).
+	Throughput float64
+	// ReduceScatterSeconds is the wall time of gradient reduce-scatter for
+	// the slowest data-parallel group (Figure 4's metric).
+	ReduceScatterSeconds float64
+	// PipelineSeconds is the pipeline (compute + P2P) portion.
+	PipelineSeconds float64
+}
+
+// EnvLabel derives the paper's environment name from a topology.
+func EnvLabel(topo *topology.Topology) string {
+	if topo.NumClusters() > 1 {
+		types := map[topology.NICType]bool{}
+		for _, c := range topo.Clusters {
+			types[c.NICType] = true
+		}
+		if len(types) > 1 {
+			return string(topology.EnvHybrid)
+		}
+	}
+	return topo.Clusters[0].NICType.String()
+}
+
+// Simulate runs one training iteration and reports the paper's metrics.
+func Simulate(cfg Config) (Report, error) {
+	if cfg.Topo == nil {
+		return Report{}, fmt.Errorf("trainer: nil topology")
+	}
+	if err := cfg.Spec.Validate(); err != nil {
+		return Report{}, err
+	}
+	opt := DefaultOptions(cfg.Framework)
+	if cfg.Opt != nil {
+		opt = *cfg.Opt
+	}
+	calib := DefaultCalibration()
+	if cfg.Calib != nil {
+		calib = *cfg.Calib
+	}
+
+	n := cfg.Topo.NumDevices()
+	t, p := cfg.TensorSize, cfg.PipelineSize
+	if t <= 0 || p <= 0 || n%(t*p) != 0 {
+		return Report{}, fmt.Errorf("trainer: t=%d, p=%d do not tile %d devices", t, p, n)
+	}
+	deg := parallel.Degrees{T: t, P: p, D: n / (t * p)}
+	assign, err := parallel.New(n, cfg.Topo.GPUsPerNode, deg)
+	if err != nil {
+		return Report{}, err
+	}
+	world, err := comm.BuildWorld(cfg.Topo, assign, opt.NICSelection)
+	if err != nil {
+		return Report{}, err
+	}
+	m, err := cfg.Spec.MicroBatches(deg.D)
+	if err != nil {
+		return Report{}, err
+	}
+
+	dpPerLayer := stageDPPerLayer(cfg, calib, assign, world)
+	part, err := makePartition(cfg, opt, calib, assign, m, dpPerLayer)
+	if err != nil {
+		return Report{}, err
+	}
+
+	// Per-stage compute times per micro-batch (forward = 1/3 of the F+B
+	// work, backward = 2/3). The vocabulary projection runs on the last
+	// stage.
+	effFLOPS := calib.PeakTFLOPS * 1e12 * calib.ComputeMFU
+	tf := make([]float64, p)
+	tb := make([]float64, p)
+	layerWork := func(layers int) float64 {
+		return cfg.Spec.FLOPsForLayers(layers, cfg.Spec.MicroBatch) / float64(t)
+	}
+	vocabWork := (cfg.Spec.FLOPsPerIteration() - cfg.Spec.FLOPsForLayers(cfg.Spec.Layers, cfg.Spec.GlobalBatch)) /
+		float64(cfg.Spec.GlobalBatch) * float64(cfg.Spec.MicroBatch) / float64(t)
+	for s := 0; s < p; s++ {
+		work := layerWork(part.Layers[s])
+		if s == p-1 {
+			work += vocabWork
+		}
+		tf[s] = work / 3 / effFLOPS
+		tb[s] = 2 * work / 3 / effFLOPS
+		if opt.OverlappedOptimizer {
+			// Comm–compute interference: the NCCL kernels of overlapped
+			// reduce-scatter occupy SMs and HBM bandwidth while the
+			// backward pass runs, so hiding communication is not free. The
+			// surcharge is proportional to the hidden communication time,
+			// spread over the backward passes that hide it.
+			hidden := (1 - exposedDPFraction(opt, calib, m)) * dpPerLayer[s] * float64(part.Layers[s])
+			tb[s] += calib.InterferenceFactor * hidden / float64(m)
+		}
+	}
+
+	eng := sim.NewEngine()
+	fab := netsim.New(eng, cfg.Topo, calib.Net)
+
+	st := newIterState(eng, fab, assign, world, part, cfg.Spec, opt, calib, m)
+	sched := pipeline.OneFOneB(p, m)
+	if opt.GPipeSchedule {
+		sched = pipeline.GPipe(p, m)
+	}
+
+	// Launch all t·d pipeline groups concurrently on the shared fabric.
+	// Groups sharing a node start staggered across one pipeline beat:
+	// lockstep starts would make every pipeline's P2P transfer collide on
+	// the node NIC each beat, a synchronization artifact real deployments
+	// do not sustain (kernel jitter and NCCL chunking de-correlate them).
+	actBytes := cfg.Spec.ActivationMessageBytes() / float64(t)
+	beat := 0.0
+	for s := 0; s < p; s++ {
+		if b := tf[s] + tb[s]; b > beat {
+			beat = b
+		}
+	}
+	pipesPerNode := cfg.Topo.GPUsPerNode / t
+	if pipesPerNode < 1 {
+		pipesPerNode = 1
+	}
+	for _, pg := range world.PPGroups {
+		pg := pg
+		stagger := beat * float64(pg.Index%pipesPerNode) / float64(pipesPerNode)
+		cfgExec := pipeline.ExecConfig{
+			Ranks:           pg.Ranks,
+			ForwardTime:     tf,
+			BackwardTime:    tb,
+			ActivationBytes: actBytes,
+			Class:           pg.Class,
+			OnBackwardDone: func(stage, micro int, now sim.Time) {
+				st.backwardDone(pg.Ranks[stage], micro)
+			},
+			OnDone: func(now sim.Time) { st.pipelineDone(now) },
+		}
+		ex, err := pipeline.NewExecutor(eng, fab, sched, cfgExec)
+		if err != nil {
+			return Report{}, err
+		}
+		eng.At(stagger, ex.Start)
+	}
+	eng.Run()
+	if !st.finished() {
+		return Report{}, fmt.Errorf("trainer: iteration did not complete (deadlock in simulation)")
+	}
+
+	iter := st.endTime
+	rep := Report{
+		Framework:            cfg.Framework,
+		Env:                  EnvLabel(cfg.Topo),
+		Degrees:              deg,
+		Partition:            part,
+		Micro:                m,
+		IterSeconds:          iter,
+		TFLOPS:               cfg.Spec.FLOPsPerIteration() / (iter * float64(n)) / 1e12,
+		Throughput:           float64(cfg.Spec.GlobalBatch) / iter,
+		ReduceScatterSeconds: st.maxRSTime(),
+		PipelineSeconds:      st.pipeEnd,
+	}
+	return rep, nil
+}
+
+// exposedDPFraction returns the share of a stage's data-parallel
+// communication that stays on the critical path as seen by the partition
+// planner: the parameter all-gather (never overlapped) plus roughly one
+// gradient bucket. With the overlapped optimizer the rest hides behind
+// the backward pass; without it, the reduce-scatter still largely hides
+// behind the pipeline drain (late stages flush their backwards several
+// beats before stage 0 finishes).
+func exposedDPFraction(opt Options, calib Calibration, m int) float64 {
+	rsShare := calib.GradBytesPerParam / (calib.GradBytesPerParam + calib.ParamBytesPerParam)
+	agShare := 1 - rsShare
+	return rsShare/float64(m) + agShare
+}
+
+// makePartition selects the stage division per the options: uniform, or
+// self-adapting (Eq. 4–5) with memory caps from the device memory.
+//
+// The speed S(c_i) of a stage is its devices' effective per-layer
+// throughput in this environment: pure compute, plus the exposed share of
+// the stage's data-parallel synchronization on its selected NIC, plus the
+// interference cost of whatever synchronization is hidden. Stages on slow
+// fabrics are effectively slower, and Eq. 5 shifts layers towards the
+// fast clusters.
+func makePartition(cfg Config, opt Options, calib Calibration, assign *parallel.Assignment, m int, dpPerLayer []float64) (partition.Result, error) {
+	p := assign.P
+	if opt.ForcedPartition != nil {
+		r := partition.Result{Layers: append([]int(nil), opt.ForcedPartition...), Strategy: "forced"}
+		return r, r.Validate(cfg.Spec.Layers)
+	}
+	if !opt.SelfAdaptingPartition {
+		return partition.Uniform(cfg.Spec.Layers, p)
+	}
+	effFLOPS := calib.PeakTFLOPS * 1e12 * calib.ComputeMFU
+	computePerLayer := float64(m) * cfg.Spec.FLOPsForLayers(1, cfg.Spec.MicroBatch) / float64(assign.T) / effFLOPS
+	exposed := exposedDPFraction(opt, calib, m)
+	interf := 0.0
+	if opt.OverlappedOptimizer {
+		interf = calib.InterferenceFactor * (1 - exposed)
+	}
+	// Only part of a stage's exposed DP time lands on the iteration's
+	// critical path — the groups' tails overlap each other and the
+	// pipeline drain — so the planner damps the DP term rather than
+	// charging it in full (charging it fully over-shifts layers towards
+	// fast clusters, which the DES punishes through the pipeline beat).
+	const dpCriticalShare = 0.5
+	stages := make([]partition.Stage, p)
+	for s := 0; s < p; s++ {
+		stages[s] = partition.Stage{
+			Speed:     1 / (computePerLayer + dpCriticalShare*(exposed+interf)*dpPerLayer[s]),
+			MaxLayers: maxLayersForMemory(cfg, assign, s),
+		}
+	}
+	return partition.SelfAdapting(cfg.Spec.Layers, stages, opt.Alpha)
+}
+
+// stageDPPerLayer estimates, for every pipeline stage, the gradient
+// reduce-scatter + parameter all-gather seconds one layer costs the
+// stage's data-parallel groups on their selected fabric (the slowest ring
+// edge governs a ring collective).
+func stageDPPerLayer(cfg Config, calib Calibration, assign *parallel.Assignment, world *comm.World) []float64 {
+	eng := sim.NewEngine()
+	fab := netsim.New(eng, cfg.Topo, calib.Net)
+	out := make([]float64, assign.P)
+	for s := 0; s < assign.P; s++ {
+		g := world.DPGroups[assign.DPRow(assign.StageRanks(s)[0])]
+		d := len(g.Ranks)
+		if d == 1 {
+			continue
+		}
+		bytes := float64(cfg.Spec.ParamsPerLayer()) / float64(assign.T) *
+			(calib.GradBytesPerParam + calib.ParamBytesPerParam)
+		perEdge := float64(d-1) / float64(d) * bytes
+		worst := 0.0
+		for i := range g.Ranks {
+			src, dst := g.Ranks[i], g.Ranks[(i+1)%d]
+			if bw := fab.PairBandwidth(src, dst, g.Class); bw > 0 {
+				if t := perEdge / bw; t > worst {
+					worst = t
+				}
+			}
+		}
+		out[s] = worst
+	}
+	return out
+}
+
+// maxLayersForMemory finds the largest layer count whose stage memory fits
+// the devices of the stage (Mem(N_ci) ≤ DMem(c_i), Eq. 5's constraint).
+// Activation memory assumes full recomputation (only layer-boundary
+// tensors stay resident), matching how Megatron fits multi-billion-
+// parameter stages.
+func maxLayersForMemory(cfg Config, assign *parallel.Assignment, stage int) int {
+	node := cfg.Topo.NodeOf(assign.StageRanks(stage)[0])
+	dmem := node.MemBytesPerGPU
+	inflight := int64(assign.P - stage) // 1F1B peak residency
+	for l := cfg.Spec.Layers; l >= 1; l-- {
+		static := cfg.Spec.StageMemoryBytes(l, assign.D, assign.T, 0, true)
+		act := cfg.Spec.ActivationBytesPerLayerRecompute() * int64(l) * inflight / int64(assign.T)
+		if static+act <= dmem {
+			return l
+		}
+	}
+	return 1
+}
+
+// iterState tracks the data-parallel phase across the iteration.
+type iterState struct {
+	eng    *sim.Engine
+	fab    *netsim.Fabric
+	assign *parallel.Assignment
+	world  *comm.World
+	opt    Options
+	calib  Calibration
+	micro  int
+
+	// Per DP group row: gradient payload, bucket progress, timings.
+	groups []*dpGroupState
+
+	pipesLeft int
+	pipeEnd   sim.Time
+	endTime   sim.Time
+	doneCount int
+}
+
+type dpGroupState struct {
+	group       *comm.Group
+	gradBytes   float64
+	paramBytes  float64
+	buckets     int
+	microCount  []int // per micro: ranks that finished its backward
+	nextBucket  int
+	rsInFlight  bool
+	readyBucket int // buckets whose gradients are complete
+	rsStart     sim.Time
+	rsEnd       sim.Time
+	rsStarted   bool
+	done        bool
+}
+
+func newIterState(eng *sim.Engine, fab *netsim.Fabric, assign *parallel.Assignment,
+	world *comm.World, part partition.Result, spec model.Spec, opt Options, calib Calibration, m int) *iterState {
+	st := &iterState{
+		eng: eng, fab: fab, assign: assign, world: world,
+		opt: opt, calib: calib, micro: m,
+		pipesLeft: len(world.PPGroups),
+	}
+	for i, g := range world.DPGroups {
+		stage := assign.StageOf(g.Ranks[0])
+		params := float64(spec.ParamsPerLayer()*int64(part.Layers[stage])) / float64(assign.T)
+		buckets := 1
+		if opt.OverlappedOptimizer {
+			buckets = m
+		}
+		gs := &dpGroupState{
+			group:      world.DPGroups[i],
+			gradBytes:  params * calib.GradBytesPerParam * opt.ExtraDPTraffic,
+			paramBytes: params * calib.ParamBytesPerParam * opt.ExtraDPTraffic,
+			buckets:    buckets,
+			microCount: make([]int, m),
+		}
+		st.groups = append(st.groups, gs)
+	}
+	return st
+}
+
+// backwardDone records a rank's backward completion for micro-batch i and
+// releases gradient buckets when every rank of the group has produced
+// them. Without the overlapped optimizer, gradient synchronization waits
+// for the whole pipeline flush (Megatron's optimizer.step() runs after the
+// flush, gated by the tied-embedding all-reduce across stages).
+func (st *iterState) backwardDone(rank, micro int) {
+	gs := st.groups[st.assign.DPRow(rank)]
+	gs.microCount[micro]++
+	if gs.microCount[micro] != len(gs.group.Ranks) {
+		return
+	}
+	if st.opt.OverlappedOptimizer {
+		gs.readyBucket++
+		st.pumpRS(gs)
+	}
+}
+
+// pumpRS starts the next gradient reduce-scatter bucket if one is ready
+// and none is in flight (buckets serialize within a group, as NCCL
+// serializes collectives on one communicator).
+func (st *iterState) pumpRS(gs *dpGroupState) {
+	if gs.rsInFlight || gs.nextBucket >= gs.readyBucket || gs.nextBucket >= gs.buckets {
+		return
+	}
+	if !gs.rsStarted {
+		gs.rsStarted = true
+		gs.rsStart = st.eng.Now()
+	}
+	gs.rsInFlight = true
+	bytes := gs.gradBytes / float64(gs.buckets)
+	collective.RunReduceScatterFluid(st.eng, st.fab, gs.group.Ranks, bytes, gs.group.Class, func() {
+		gs.rsInFlight = false
+		gs.nextBucket++
+		if gs.nextBucket == gs.buckets {
+			gs.rsEnd = st.eng.Now()
+			st.afterRS(gs)
+			return
+		}
+		st.pumpRS(gs)
+	})
+}
+
+// afterRS runs the optimizer step on the sharded state, then all-gathers
+// the updated fp16 parameters.
+func (st *iterState) afterRS(gs *dpGroupState) {
+	st.eng.After(st.calib.OptimizerSeconds, func() {
+		collective.RunAllGatherFluid(st.eng, st.fab, gs.group.Ranks, gs.paramBytes, gs.group.Class, func() {
+			gs.done = true
+			st.groupDone()
+		})
+	})
+}
+
+func (st *iterState) pipelineDone(now sim.Time) {
+	st.pipesLeft--
+	if now > st.pipeEnd {
+		st.pipeEnd = now
+	}
+	if st.pipesLeft == 0 && !st.opt.OverlappedOptimizer {
+		// Post-flush gradient synchronization: every group reduces now.
+		for _, gs := range st.groups {
+			gs.readyBucket = gs.buckets
+			st.pumpRS(gs)
+		}
+	}
+}
+
+func (st *iterState) groupDone() {
+	st.doneCount++
+	if st.doneCount == len(st.groups) && st.eng.Now() > st.endTime {
+		st.endTime = st.eng.Now()
+	}
+}
+
+func (st *iterState) finished() bool {
+	return st.doneCount == len(st.groups) && st.pipesLeft == 0
+}
+
+func (st *iterState) maxRSTime() float64 {
+	worst := 0.0
+	for _, gs := range st.groups {
+		if d := gs.rsEnd - gs.rsStart; gs.rsStarted && d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

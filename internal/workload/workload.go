@@ -1,0 +1,100 @@
+// Package workload generates the synthetic token streams that substitute
+// for the paper's OPT WebText dataset. Throughput experiments are
+// shape-driven — only sequence length, batch size, and sharding matter —
+// so a deterministic PRNG token source preserves everything the
+// experiments measure while remaining fully reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Dataset is a deterministic synthetic token corpus.
+type Dataset struct {
+	Vocab  int
+	SeqLen int
+	seed   int64
+	// Samples is the nominal corpus size (sequences); iteration wraps.
+	Samples int
+}
+
+// NewDataset creates a corpus of `samples` sequences over a vocabulary.
+func NewDataset(seed int64, samples, vocab, seqLen int) (*Dataset, error) {
+	if samples <= 0 || vocab <= 1 || seqLen <= 0 {
+		return nil, fmt.Errorf("workload: bad dataset shape samples=%d vocab=%d seq=%d", samples, vocab, seqLen)
+	}
+	return &Dataset{Vocab: vocab, SeqLen: seqLen, seed: seed, Samples: samples}, nil
+}
+
+// Sequence materializes sample i (deterministically, independent of
+// access order).
+func (d *Dataset) Sequence(i int) []int32 {
+	i = ((i % d.Samples) + d.Samples) % d.Samples
+	rng := rand.New(rand.NewSource(d.seed ^ int64(i)*0x2545F4914F6CDD1D))
+	seq := make([]int32, d.SeqLen)
+	for j := range seq {
+		seq[j] = int32(rng.Intn(d.Vocab))
+	}
+	return seq
+}
+
+// Shard is one data-parallel rank's view of the dataset: samples
+// rank, rank+d, rank+2d, ... (the round-robin sharding Megatron uses).
+type Shard struct {
+	ds      *Dataset
+	rank, d int
+	cursor  int
+}
+
+// Shard returns data-parallel shard `rank` of `d`.
+func (d *Dataset) Shard(rank, world int) (*Shard, error) {
+	if world <= 0 || rank < 0 || rank >= world {
+		return nil, fmt.Errorf("workload: bad shard %d/%d", rank, world)
+	}
+	return &Shard{ds: d, rank: rank, d: world}, nil
+}
+
+// Next returns the shard's next sequence, wrapping at the corpus end.
+func (s *Shard) Next() []int32 {
+	idx := s.rank + s.cursor*s.d
+	s.cursor++
+	return s.ds.Sequence(idx)
+}
+
+// MicroBatch returns the next b sequences as one micro-batch.
+func (s *Shard) MicroBatch(b int) [][]int32 {
+	out := make([][]int32, b)
+	for i := range out {
+		out[i] = s.Next()
+	}
+	return out
+}
+
+// Iterator walks a shard in (micro-batch, micro-step) order for one
+// training iteration: m micro-batches of b samples.
+type Iterator struct {
+	shard *Shard
+	B, M  int
+	step  int
+}
+
+// Iteration prepares one iteration's iterator: m micro-batches of b.
+func (s *Shard) Iteration(b, m int) *Iterator {
+	return &Iterator{shard: s, B: b, M: m}
+}
+
+// Next returns the next micro-batch, or nil when the iteration is done.
+func (it *Iterator) Next() [][]int32 {
+	if it.step >= it.M {
+		return nil
+	}
+	it.step++
+	return it.shard.MicroBatch(it.B)
+}
+
+// TokensPerIteration returns the token volume one iteration consumes
+// globally: B·s.
+func TokensPerIteration(globalBatch, seqLen int) int64 {
+	return int64(globalBatch) * int64(seqLen)
+}

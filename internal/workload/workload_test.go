@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSequenceDeterministic(t *testing.T) {
+	ds, err := NewDataset(1, 100, 51200, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ds.Sequence(7)
+	b := ds.Sequence(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("sequence not deterministic")
+		}
+	}
+	c := ds.Sequence(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("distinct samples identical")
+	}
+}
+
+func TestTokensInVocab(t *testing.T) {
+	ds, _ := NewDataset(3, 50, 100, 64)
+	f := func(iRaw uint16) bool {
+		seq := ds.Sequence(int(iRaw))
+		if len(seq) != 64 {
+			return false
+		}
+		for _, tok := range seq {
+			if tok < 0 || tok >= 100 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardsPartitionSamples(t *testing.T) {
+	ds, _ := NewDataset(5, 12, 50, 4)
+	world := 4
+	seen := map[int]int{} // first-token fingerprint -> count
+	for r := 0; r < world; r++ {
+		sh, err := ds.Shard(r, world)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 3; k++ { // 3 samples per shard covers all 12
+			seq := sh.Next()
+			seen[int(seq[0])]++
+		}
+	}
+	total := 0
+	for _, c := range seen {
+		total += c
+	}
+	if total != 12 {
+		t.Fatalf("shards drew %d samples, want 12", total)
+	}
+}
+
+func TestShardWraps(t *testing.T) {
+	ds, _ := NewDataset(5, 4, 50, 4)
+	sh, _ := ds.Shard(0, 2)
+	a := sh.Next() // sample 0
+	sh.Next()      // sample 2
+	b := sh.Next() // wraps to sample 0 (4 % 4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("wrap must revisit sample 0")
+		}
+	}
+}
+
+func TestIterator(t *testing.T) {
+	ds, _ := NewDataset(9, 100, 50, 8)
+	sh, _ := ds.Shard(1, 2)
+	it := sh.Iteration(4, 3)
+	count := 0
+	for mb := it.Next(); mb != nil; mb = it.Next() {
+		if len(mb) != 4 {
+			t.Fatalf("micro-batch size %d", len(mb))
+		}
+		count++
+	}
+	if count != 3 {
+		t.Fatalf("iterator yielded %d micro-batches, want 3", count)
+	}
+}
+
+func TestBadShapes(t *testing.T) {
+	if _, err := NewDataset(1, 0, 10, 10); err == nil {
+		t.Fatal("0 samples must fail")
+	}
+	if _, err := NewDataset(1, 10, 1, 10); err == nil {
+		t.Fatal("vocab 1 must fail")
+	}
+	ds, _ := NewDataset(1, 10, 10, 10)
+	if _, err := ds.Shard(3, 3); err == nil {
+		t.Fatal("rank==world must fail")
+	}
+}
+
+func TestTokensPerIteration(t *testing.T) {
+	if got := TokensPerIteration(768, 2048); got != 768*2048 {
+		t.Fatalf("TokensPerIteration = %d", got)
+	}
+}
