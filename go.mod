@@ -1,0 +1,3 @@
+module holmes
+
+go 1.24

@@ -15,12 +15,15 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
+	"sync"
 
 	"holmes/internal/comm"
 	"holmes/internal/model"
 	"holmes/internal/parallel"
 	"holmes/internal/partition"
+	"holmes/internal/pool"
 	"holmes/internal/topology"
 	"holmes/internal/trainer"
 )
@@ -59,15 +62,66 @@ func NewPlanner(topo *topology.Topology, spec model.Spec) (*Planner, error) {
 	return &Planner{Topo: topo, Spec: spec, Framework: trainer.Holmes}, nil
 }
 
+// planKey identifies a cached assignment+world: the structural topology
+// fingerprint, the fixed degrees, and the NIC-selection policy (the only
+// inputs communicator construction depends on).
+type planKey struct {
+	fp   string
+	t, p int
+	sel  comm.Selection
+}
+
+type planEntry struct {
+	assign *parallel.Assignment
+	world  *comm.World
+}
+
+// planCache memoizes communicator construction across Plan calls — the
+// pipeline search and the experiment grids re-plan the same topologies
+// over and over. Entries are immutable after insertion (assignments and
+// worlds are read-only during simulation), so sharing across goroutines
+// is safe.
+var planCache = struct {
+	sync.Mutex
+	m map[planKey]planEntry
+}{m: make(map[planKey]planEntry)}
+
+// planCacheMax bounds the cache; on overflow it is simply cleared (the
+// working set of any realistic search is far smaller).
+const planCacheMax = 512
+
+func cachedWorld(topo *topology.Topology, deg parallel.Degrees, sel comm.Selection) (*parallel.Assignment, *comm.World, error) {
+	key := planKey{fp: topo.Fingerprint(), t: deg.T, p: deg.P, sel: sel}
+	planCache.Lock()
+	e, ok := planCache.m[key]
+	planCache.Unlock()
+	if ok {
+		return e.assign, e.world, nil
+	}
+	assign, err := parallel.New(topo.NumDevices(), topo.GPUsPerNode, deg)
+	if err != nil {
+		return nil, nil, err
+	}
+	world, err := comm.BuildWorld(topo, assign, sel)
+	if err != nil {
+		return nil, nil, err
+	}
+	planCache.Lock()
+	if len(planCache.m) >= planCacheMax {
+		clear(planCache.m)
+	}
+	planCache.m[key] = planEntry{assign: assign, world: world}
+	planCache.Unlock()
+	return assign, world, nil
+}
+
 // Plan builds the plan for fixed tensor and pipeline degrees, simulating
-// one iteration to fill in the performance report.
+// one iteration to fill in the performance report. The communicators are
+// built (or fetched from the plan cache) once and handed to the
+// simulation, which previously rebuilt the identical structures itself.
 func (pl *Planner) Plan(t, p int) (*Plan, error) {
 	n := pl.Topo.NumDevices()
-	if t <= 0 || p <= 0 || n%(t*p) != 0 {
-		return nil, fmt.Errorf("core: degrees t=%d p=%d do not tile %d devices", t, p, n)
-	}
-	deg := parallel.Degrees{T: t, P: p, D: n / (t * p)}
-	assign, err := parallel.New(n, pl.Topo.GPUsPerNode, deg)
+	deg, err := parallel.TileDegrees(n, t, p)
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +129,7 @@ func (pl *Planner) Plan(t, p int) (*Plan, error) {
 	if pl.Opt != nil {
 		opt = *pl.Opt
 	}
-	world, err := comm.BuildWorld(pl.Topo, assign, opt.NICSelection)
+	assign, world, err := cachedWorld(pl.Topo, deg, opt.NICSelection)
 	if err != nil {
 		return nil, err
 	}
@@ -83,6 +137,7 @@ func (pl *Planner) Plan(t, p int) (*Plan, error) {
 		Topo: pl.Topo, Spec: pl.Spec,
 		TensorSize: t, PipelineSize: p,
 		Framework: pl.Framework, Opt: pl.Opt,
+		World: world,
 	})
 	if err != nil {
 		return nil, err
@@ -98,29 +153,39 @@ func (pl *Planner) Plan(t, p int) (*Plan, error) {
 
 // SearchPipeline tries every feasible pipeline degree (divisors of the
 // node count whose micro-batching works out) at the given tensor degree
-// and returns the plan with the highest simulated throughput.
+// and returns the plan with the highest simulated throughput. Candidates
+// simulate concurrently on a bounded worker pool; the winner (and the
+// error reported when nothing is feasible) is selected in candidate
+// order, so the result is identical to the sequential search.
 func (pl *Planner) SearchPipeline(t int) (*Plan, error) {
 	n := pl.Topo.NumDevices()
 	nodes := pl.Topo.NumNodes()
-	var best *Plan
-	var firstErr error
+	var cands []int
 	for p := 1; p <= nodes; p++ {
 		if n%(t*p) != 0 || pl.Spec.Layers < p {
 			continue
 		}
-		d := n / (t * p)
-		if _, err := pl.Spec.MicroBatches(d); err != nil {
+		if _, err := pl.Spec.MicroBatches(n / (t * p)); err != nil {
 			continue
 		}
-		plan, err := pl.Plan(t, p)
-		if err != nil {
+		cands = append(cands, p)
+	}
+	plans := make([]*Plan, len(cands))
+	errs := make([]error, len(cands))
+	pool.Run(len(cands), runtime.NumCPU(), func(i int) {
+		plans[i], errs[i] = pl.Plan(t, cands[i])
+	})
+	var best *Plan
+	var firstErr error
+	for i := range cands {
+		if errs[i] != nil {
 			if firstErr == nil {
-				firstErr = err
+				firstErr = errs[i]
 			}
 			continue
 		}
-		if best == nil || plan.Report.Throughput > best.Report.Throughput {
-			best = plan
+		if best == nil || plans[i].Report.Throughput > best.Report.Throughput {
+			best = plans[i]
 		}
 	}
 	if best == nil {

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// setRunMode flips the package knobs for one test and restores them.
+func setRunMode(t *testing.T, workers int, oracle bool) {
+	t.Helper()
+	prevC, prevF := Concurrency, FullRecompute
+	Concurrency, FullRecompute = workers, oracle
+	t.Cleanup(func() { Concurrency, FullRecompute = prevC, prevF })
+}
+
+// The concurrent runner must produce rows in the same order with the same
+// bits as a sequential run: cells are independent simulations, and the
+// pool only changes which goroutine executes them.
+func TestRowsDeterministicUnderConcurrency(t *testing.T) {
+	for _, id := range []string{"table1", "fig5", "fig6"} {
+		setRunMode(t, 1, false)
+		seq, err := Run(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		setRunMode(t, 8, false)
+		for trial := 0; trial < 3; trial++ {
+			conc, err := Run(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(seq, conc) {
+				t.Fatalf("%s: concurrent rows differ from sequential (trial %d):\nseq  %+v\nconc %+v",
+					id, trial, seq, conc)
+			}
+		}
+	}
+}
+
+// Every experiment row produced by the fast path (incremental rebalancer,
+// concurrent runner) must be bit-identical to the sequential
+// full-recompute oracle. Table 3 is the acceptance grid; table1 covers
+// the remaining environments cheaply. Exact equality is achievable
+// because rates drain lazily (see netsim.Fabric.reschedule): both modes
+// compute the same unique max-min schedule through the same arithmetic.
+func TestOracleEquivalence(t *testing.T) {
+	grids := []string{"table1", "table3"}
+	if testing.Short() {
+		grids = grids[:1]
+	}
+	for _, id := range grids {
+		setRunMode(t, 8, false)
+		fast, err := Run(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		setRunMode(t, 1, true)
+		oracle, err := Run(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fast) != len(oracle) {
+			t.Fatalf("%s: row count %d vs oracle %d", id, len(fast), len(oracle))
+		}
+		for i := range fast {
+			if fast[i] != oracle[i] {
+				t.Fatalf("%s row %d (%s): fast {%.17g TFLOPS, %.17g samples/s, %.17g ms} vs oracle {%.17g, %.17g, %.17g}",
+					id, i, fast[i].Label, fast[i].TFLOPS, fast[i].Throughput, fast[i].ReduceScatterMs,
+					oracle[i].TFLOPS, oracle[i].Throughput, oracle[i].ReduceScatterMs)
+			}
+		}
+	}
+}
+
+// Exercise the worker pool with more workers than cells and again with
+// fewer; combined with -race in CI this is the pool's race test.
+func TestWorkerPoolBounds(t *testing.T) {
+	for _, workers := range []int{1, 2, 64} {
+		setRunMode(t, workers, false)
+		rows, err := Table4()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 5 {
+			t.Fatalf("workers=%d: got %d rows, want 5", workers, len(rows))
+		}
+	}
+}

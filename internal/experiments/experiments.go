@@ -8,12 +8,19 @@
 // Each experiment returns rows carrying both the simulated metrics and
 // the paper's published value where one exists, so EXPERIMENTS.md and the
 // bench harness can report paper-vs-measured side by side.
+//
+// Cells of a grid are mutually independent simulations, so every
+// experiment fans them out over a bounded worker pool (Concurrency
+// workers) and assembles rows strictly in input order — the output is
+// byte-identical to a sequential run.
 package experiments
 
 import (
 	"fmt"
+	"runtime"
 
 	"holmes/internal/model"
+	"holmes/internal/pool"
 	"holmes/internal/topology"
 	"holmes/internal/trainer"
 )
@@ -34,6 +41,17 @@ type Row struct {
 	Partition string
 }
 
+// Concurrency bounds the experiment worker pool. It defaults to the CPU
+// count; set it to 1 to force sequential execution (the reference arm of
+// the determinism tests). Change it only between experiment runs.
+var Concurrency = runtime.NumCPU()
+
+// FullRecompute makes every cell simulate on the netsim full-recompute
+// oracle instead of the incremental rebalancer (see netsim.Params); it is
+// the reference arm of the equivalence tests and of
+// `holmes-bench -mode=baseline`. Change it only between experiment runs.
+var FullRecompute bool
+
 // PipelineSize returns the pipeline-parallel degree used for a parameter
 // group at a node count: Table 2 pins p=2 for the 3.6B groups and p=3 for
 // the 7.5B groups; where 3 does not divide the device count (4 and 8
@@ -48,23 +66,61 @@ func PipelineSize(groupID, nodes int) int {
 	return p
 }
 
-// run simulates one cell.
-func run(exp, label string, topo *topology.Topology, spec model.Spec, t, p int, fw trainer.Framework, opt *trainer.Options) (Row, error) {
-	rep, err := trainer.Simulate(trainer.Config{
-		Topo: topo, Spec: spec, TensorSize: t, PipelineSize: p,
-		Framework: fw, Opt: opt,
-	})
+// cell is one pending simulation of an experiment grid.
+type cell struct {
+	exp, label string
+	topo       *topology.Topology
+	spec       model.Spec
+	t, p       int
+	fw         trainer.Framework
+	opt        *trainer.Options
+	paperT     float64
+	paperS     float64
+}
+
+// runCell simulates one cell.
+func runCell(c cell) (Row, error) {
+	cfg := trainer.Config{
+		Topo: c.topo, Spec: c.spec, TensorSize: c.t, PipelineSize: c.p,
+		Framework: c.fw, Opt: c.opt,
+	}
+	if FullRecompute {
+		calib := trainer.DefaultCalibration()
+		calib.Net.FullRecompute = true
+		cfg.Calib = &calib
+	}
+	rep, err := trainer.Simulate(cfg)
 	if err != nil {
-		return Row{}, fmt.Errorf("%s/%s: %w", exp, label, err)
+		return Row{}, fmt.Errorf("%s/%s: %w", c.exp, c.label, err)
 	}
 	return Row{
-		Experiment:      exp,
-		Label:           label,
+		Experiment:      c.exp,
+		Label:           c.label,
 		TFLOPS:          rep.TFLOPS,
 		Throughput:      rep.Throughput,
 		ReduceScatterMs: rep.ReduceScatterSeconds * 1000,
+		PaperTFLOPS:     c.paperT,
+		PaperThroughput: c.paperS,
 		Partition:       rep.Partition.String(),
 	}, nil
+}
+
+// runCells executes the cells on the worker pool. Results land at their
+// input index, so row order never depends on scheduling; the error
+// reported is the first by input order, matching what a sequential run
+// would have surfaced.
+func runCells(cells []cell) ([]Row, error) {
+	rows := make([]Row, len(cells))
+	errs := make([]error, len(cells))
+	pool.Run(len(cells), Concurrency, func(i int) {
+		rows[i], errs[i] = runCell(cells[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
 }
 
 // table1Paper holds the published Table 1 values (GPT-3.6B, 4 nodes).
@@ -79,23 +135,22 @@ var table1Paper = map[topology.EnvName][2]float64{
 // three homogeneous NIC environments (the paper's Table 1 proper) plus
 // the Hybrid row that Table 3 adds for the same configuration.
 func Table1() ([]Row, error) {
-	var rows []Row
 	pg := model.Group(1)
 	base := trainer.BaseOptions()
+	var cells []cell
 	for _, env := range topology.AllEnvs {
 		topo, err := topology.Env(env, 4)
 		if err != nil {
 			return nil, err
 		}
-		row, err := run("table1", string(env), topo, pg.Spec, pg.TensorSize, PipelineSize(1, 4), trainer.Holmes, &base)
-		if err != nil {
-			return nil, err
-		}
-		row.PaperTFLOPS = table1Paper[env][0]
-		row.PaperThroughput = table1Paper[env][1]
-		rows = append(rows, row)
+		paper := table1Paper[env]
+		cells = append(cells, cell{
+			exp: "table1", label: string(env), topo: topo, spec: pg.Spec,
+			t: pg.TensorSize, p: PipelineSize(1, 4), fw: trainer.Holmes, opt: &base,
+			paperT: paper[0], paperS: paper[1],
+		})
 	}
-	return rows, nil
+	return runCells(cells)
 }
 
 // table3Paper holds the published Table 3 grid indexed by
@@ -133,8 +188,8 @@ var Table3Nodes = []int{4, 6, 8}
 // Table3 reproduces the full Table 3 grid: four parameter groups × four
 // NIC environments × {4, 6, 8} nodes.
 func Table3() ([]Row, error) {
-	var rows []Row
 	base := trainer.BaseOptions()
+	var cells []cell
 	for id := 1; id <= 4; id++ {
 		pg := model.Group(id)
 		for _, env := range topology.AllEnvs {
@@ -143,27 +198,27 @@ func Table3() ([]Row, error) {
 				if err != nil {
 					return nil, err
 				}
-				label := fmt.Sprintf("PG%d/%s/%dn", id, env, nodes)
-				row, err := run("table3", label, topo, pg.Spec, pg.TensorSize, PipelineSize(id, nodes), trainer.Holmes, &base)
-				if err != nil {
-					return nil, err
-				}
 				paper := table3Paper[id][env][ni]
-				row.PaperTFLOPS = paper[0]
-				row.PaperThroughput = paper[1]
-				rows = append(rows, row)
+				cells = append(cells, cell{
+					exp:   "table3",
+					label: fmt.Sprintf("PG%d/%s/%dn", id, env, nodes),
+					topo:  topo, spec: pg.Spec,
+					t: pg.TensorSize, p: PipelineSize(id, nodes),
+					fw: trainer.Holmes, opt: &base,
+					paperT: paper[0], paperS: paper[1],
+				})
 			}
 		}
 	}
-	return rows, nil
+	return runCells(cells)
 }
 
 // Figure4 reproduces the grads-reduce-scatter comparison: the wall time of
 // gradient reduce-scatter per parameter group for 4 and 8 nodes in every
 // NIC environment (log-scale milliseconds in the paper).
 func Figure4() ([]Row, error) {
-	var rows []Row
 	base := trainer.BaseOptions()
+	var cells []cell
 	for _, nodes := range []int{4, 8} {
 		for id := 1; id <= 4; id++ {
 			pg := model.Group(id)
@@ -172,16 +227,17 @@ func Figure4() ([]Row, error) {
 				if err != nil {
 					return nil, err
 				}
-				label := fmt.Sprintf("PG%d/%s/%dn", id, env, nodes)
-				row, err := run("fig4", label, topo, pg.Spec, pg.TensorSize, PipelineSize(id, nodes), trainer.Holmes, &base)
-				if err != nil {
-					return nil, err
-				}
-				rows = append(rows, row)
+				cells = append(cells, cell{
+					exp:   "fig4",
+					label: fmt.Sprintf("PG%d/%s/%dn", id, env, nodes),
+					topo:  topo, spec: pg.Spec,
+					t: pg.TensorSize, p: PipelineSize(id, nodes),
+					fw: trainer.Holmes, opt: &base,
+				})
 			}
 		}
 	}
-	return rows, nil
+	return runCells(cells)
 }
 
 // Figure5 reproduces the partition-strategy comparison: Holmes
@@ -189,8 +245,8 @@ func Figure4() ([]Row, error) {
 // group on the 8-node hybrid environment, with the overlapped optimizer
 // active in both arms.
 func Figure5() ([]Row, error) {
-	var rows []Row
 	topo := topology.HybridEnv(8)
+	var cells []cell
 	for id := 1; id <= 4; id++ {
 		pg := model.Group(id)
 		p := PipelineSize(id, 8)
@@ -201,15 +257,15 @@ func Figure5() ([]Row, error) {
 			if !sa {
 				name = "Uniform"
 			}
-			label := fmt.Sprintf("PG%d/%s", id, name)
-			row, err := run("fig5", label, topo, pg.Spec, pg.TensorSize, p, trainer.Holmes, &opt)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, row)
+			cells = append(cells, cell{
+				exp:   "fig5",
+				label: fmt.Sprintf("PG%d/%s", id, name),
+				topo:  topo, spec: pg.Spec,
+				t: pg.TensorSize, p: p, fw: trainer.Holmes, opt: &opt,
+			})
 		}
 	}
-	return rows, nil
+	return runCells(cells)
 }
 
 // figure6Paper holds Figure 6's published throughputs (PG3, 8 nodes:
@@ -224,19 +280,18 @@ var figure6Paper = map[trainer.Framework]float64{
 // Figure6 reproduces the framework comparison: parameter group 3 on the
 // 8-node hybrid environment across the four frameworks.
 func Figure6() ([]Row, error) {
-	var rows []Row
 	pg := model.Group(3)
 	topo := topology.HybridEnv(8)
 	p := PipelineSize(3, 8)
+	var cells []cell
 	for _, fw := range trainer.AllFrameworks {
-		row, err := run("fig6", string(fw), topo, pg.Spec, pg.TensorSize, p, fw, nil)
-		if err != nil {
-			return nil, err
-		}
-		row.PaperThroughput = figure6Paper[fw]
-		rows = append(rows, row)
+		cells = append(cells, cell{
+			exp: "fig6", label: string(fw), topo: topo, spec: pg.Spec,
+			t: pg.TensorSize, p: p, fw: fw,
+			paperS: figure6Paper[fw],
+		})
 	}
-	return rows, nil
+	return runCells(cells)
 }
 
 // figure7Paper holds Figure 7's published throughputs for Holmes on the
@@ -250,23 +305,23 @@ var Figure7Nodes = []int{4, 8, 12}
 // GPT model on 4, 8, and 12 hybrid nodes, Holmes versus Megatron-LLaMA
 // and Megatron-LM.
 func Figure7() ([]Row, error) {
-	var rows []Row
 	spec := model.GPT39B(1536)
+	var cells []cell
 	for _, nodes := range Figure7Nodes {
 		topo := topology.HybridEnv(nodes)
 		for _, fw := range []trainer.Framework{trainer.Holmes, trainer.MegatronLLaMA, trainer.MegatronLM} {
-			label := fmt.Sprintf("%s/%dn", fw, nodes)
-			row, err := run("fig7", label, topo, spec, 1, 4, fw, nil)
-			if err != nil {
-				return nil, err
+			c := cell{
+				exp:   "fig7",
+				label: fmt.Sprintf("%s/%dn", fw, nodes),
+				topo:  topo, spec: spec, t: 1, p: 4, fw: fw,
 			}
 			if fw == trainer.Holmes {
-				row.PaperThroughput = figure7Paper[nodes]
+				c.paperS = figure7Paper[nodes]
 			}
-			rows = append(rows, row)
+			cells = append(cells, c)
 		}
 	}
-	return rows, nil
+	return runCells(cells)
 }
 
 // table4Paper holds the published ablation (PG3, 8-node hybrid).
@@ -291,7 +346,7 @@ func Table4() ([]Row, error) {
 	noOv.OverlappedOptimizer = false
 	base := trainer.BaseOptions()
 
-	cells := []struct {
+	variants := []struct {
 		label string
 		fw    trainer.Framework
 		opt   *trainer.Options
@@ -302,40 +357,27 @@ func Table4() ([]Row, error) {
 		{"w/o Overlapped", trainer.Holmes, &noOv},
 		{"w/o Above Two", trainer.Holmes, &base},
 	}
-	var rows []Row
-	for _, c := range cells {
-		row, err := run("table4", c.label, topo, pg.Spec, pg.TensorSize, p, c.fw, c.opt)
-		if err != nil {
-			return nil, err
-		}
-		paper := table4Paper[c.label]
-		row.PaperTFLOPS = paper[0]
-		row.PaperThroughput = paper[1]
-		rows = append(rows, row)
+	var cells []cell
+	for _, v := range variants {
+		paper := table4Paper[v.label]
+		cells = append(cells, cell{
+			exp: "table4", label: v.label, topo: topo, spec: pg.Spec,
+			t: pg.TensorSize, p: p, fw: v.fw, opt: v.opt,
+			paperT: paper[0], paperS: paper[1],
+		})
 	}
-	return rows, nil
+	return runCells(cells)
 }
 
 // All runs every experiment, keyed by experiment id in paper order.
 func All() (map[string][]Row, error) {
 	out := make(map[string][]Row)
-	for _, e := range []struct {
-		id string
-		fn func() ([]Row, error)
-	}{
-		{"table1", Table1},
-		{"table3", Table3},
-		{"fig4", Figure4},
-		{"fig5", Figure5},
-		{"fig6", Figure6},
-		{"fig7", Figure7},
-		{"table4", Table4},
-	} {
-		rows, err := e.fn()
+	for _, id := range Names {
+		rows, err := Run(id)
 		if err != nil {
 			return nil, err
 		}
-		out[e.id] = rows
+		out[id] = rows
 	}
 	return out, nil
 }

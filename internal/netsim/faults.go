@@ -45,7 +45,7 @@ func (f *Fabric) DegradeNode(nodeIdx int, class Class, factor float64) (prevOut,
 	prevOut, prevIn = out.Capacity, in.Capacity
 	out.Capacity *= factor
 	in.Capacity *= factor
-	f.rebalance()
+	f.scheduleLinkRebalance(out, in)
 	return prevOut, prevIn, nil
 }
 
@@ -58,9 +58,11 @@ func (f *Fabric) RestoreNode(nodeIdx int, class Class, capOut, capIn float64) er
 	if capOut < 0 || capIn < 0 {
 		return fmt.Errorf("netsim: negative capacity")
 	}
-	f.linkFor(nodeIdx, Class(class), false).Capacity = capOut
-	f.linkFor(nodeIdx, Class(class), true).Capacity = capIn
-	f.rebalance()
+	out := f.linkFor(nodeIdx, class, false)
+	in := f.linkFor(nodeIdx, class, true)
+	out.Capacity = capOut
+	in.Capacity = capIn
+	f.scheduleLinkRebalance(out, in)
 	return nil
 }
 

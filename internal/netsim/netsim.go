@@ -8,6 +8,15 @@
 // bandwidth sharing and a per-technology message latency (the α in the
 // classic α–β cost model); rates are recomputed whenever a flow starts or
 // finishes, and flow completions drive the discrete-event engine.
+//
+// Rebalancing is incremental: a flow arrival or departure recomputes the
+// progressive-filling allocation only over the connected component of
+// links and flows it touches (flows elsewhere keep their rates, which a
+// max-min allocation leaves unchanged across components), simultaneous
+// events coalesce into one pass, and all bookkeeping lives in reusable
+// scratch slices so the hot path performs no per-event allocation. The
+// original from-scratch recomputation is retained behind
+// Params.FullRecompute as the reference oracle.
 package netsim
 
 import (
@@ -75,6 +84,11 @@ type Params struct {
 	// commodity NICs (NCCL's socket path tops out well below line rate on
 	// one connection). Zero means uncapped.
 	EthPerFlowBytesPerSec float64
+	// FullRecompute disables the incremental rebalancer: every arrival or
+	// departure recomputes max-min rates for the whole fabric from
+	// scratch, as the original implementation did. Much slower; kept as
+	// the reference oracle the incremental path is tested against.
+	FullRecompute bool
 }
 
 // DefaultParams reflects measured characteristics of the technologies in
@@ -98,16 +112,24 @@ func DefaultParams() Params {
 	}
 }
 
+// maxPathLinks is the longest path the fabric produces: Ethernet out-link,
+// in-link, and an optional inter-cluster trunk.
+const maxPathLinks = 3
+
 // Link is one capacitated, directed fluid link.
 type Link struct {
 	Name string
 	// Capacity in bytes per second.
 	Capacity float64
-	flows    map[*Flow]struct{}
-}
 
-func newLink(name string, capacity float64) *Link {
-	return &Link{Name: name, Capacity: capacity, flows: make(map[*Flow]struct{})}
+	id    int
+	flows []*Flow // active flows, swap-removed on departure
+
+	// Rebalance scratch, meaningful only inside Fabric.rebalance.
+	residual  float64
+	nUnfrozen int
+	seen      int  // epoch mark: collected into the current region
+	dirty     bool // queued as a seed for the pending rebalance
 }
 
 // ActiveFlows reports how many flows currently traverse the link.
@@ -119,7 +141,9 @@ type Flow struct {
 	Class    Class
 	Bytes    float64
 
-	path      []*Link
+	path      [maxPathLinks]*Link
+	pathPos   [maxPathLinks]int // this flow's index in each path link's flows
+	nPath     int
 	remaining float64
 	rate      float64
 	cap       float64 // per-flow rate ceiling (Inf when uncapped)
@@ -128,6 +152,11 @@ type Flow struct {
 	onDone    func()
 	fab       *Fabric
 	started   bool
+	admitted  bool // currently occupying links
+
+	seen     int // epoch mark: collected into the current region
+	frozen   bool
+	prevRate float64
 }
 
 // Rate returns the flow's current fair-share rate in bytes/s.
@@ -146,7 +175,17 @@ type Fabric struct {
 	// Optional inter-cluster trunks, keyed by ordered cluster pair.
 	trunks map[[2]int]*Link
 
-	active map[*Flow]struct{}
+	links    []*Link // registry of every link, indexed by id
+	inFlight int
+
+	// Rebalance machinery: seed links accumulated since the last pass,
+	// whether a coalesced pass is already scheduled at the current
+	// instant, and reusable region scratch.
+	dirtySeeds   []*Link
+	rebalPending bool
+	epoch        int
+	regionLinks  []*Link
+	regionFlows  []*Flow
 }
 
 // New creates a fabric over topo driven by eng.
@@ -156,7 +195,6 @@ func New(eng *sim.Engine, topo *topology.Topology, p Params) *Fabric {
 		Params: p,
 		eng:    eng,
 		trunks: make(map[[2]int]*Link),
-		active: make(map[*Flow]struct{}),
 	}
 	for _, n := range topo.Nodes() {
 		rdmaBps := n.RDMAGbps() / 8 * 1e9 * f.rdmaEff(n.RDMAType())
@@ -166,11 +204,11 @@ func New(eng *sim.Engine, topo *topology.Topology, p Params) *Fabric {
 			intraBps = p.PCIeBytesPerSec
 		}
 		id := n.Index
-		f.nodeRDMAOut = append(f.nodeRDMAOut, newLink(fmt.Sprintf("n%d.rdma.out", id), rdmaBps))
-		f.nodeRDMAIn = append(f.nodeRDMAIn, newLink(fmt.Sprintf("n%d.rdma.in", id), rdmaBps))
-		f.nodeEthOut = append(f.nodeEthOut, newLink(fmt.Sprintf("n%d.eth.out", id), ethBps))
-		f.nodeEthIn = append(f.nodeEthIn, newLink(fmt.Sprintf("n%d.eth.in", id), ethBps))
-		f.nodeIntra = append(f.nodeIntra, newLink(fmt.Sprintf("n%d.nvlink", id), intraBps))
+		f.nodeRDMAOut = append(f.nodeRDMAOut, f.newLink(fmt.Sprintf("n%d.rdma.out", id), rdmaBps))
+		f.nodeRDMAIn = append(f.nodeRDMAIn, f.newLink(fmt.Sprintf("n%d.rdma.in", id), rdmaBps))
+		f.nodeEthOut = append(f.nodeEthOut, f.newLink(fmt.Sprintf("n%d.eth.out", id), ethBps))
+		f.nodeEthIn = append(f.nodeEthIn, f.newLink(fmt.Sprintf("n%d.eth.in", id), ethBps))
+		f.nodeIntra = append(f.nodeIntra, f.newLink(fmt.Sprintf("n%d.nvlink", id), intraBps))
 	}
 	if p.InterClusterGbps > 0 || p.InterClusterGbpsPerNode > 0 {
 		for i := range topo.Clusters {
@@ -181,11 +219,19 @@ func New(eng *sim.Engine, topo *topology.Topology, p Params) *Fabric {
 				}
 				gbps := p.InterClusterGbps + p.InterClusterGbpsPerNode*float64(minNodes)
 				bps := gbps / 8 * 1e9 * p.EthEff
-				f.trunks[[2]int{i, j}] = newLink(fmt.Sprintf("trunk.c%d-c%d", i, j), bps)
+				f.trunks[[2]int{i, j}] = f.newLink(fmt.Sprintf("trunk.c%d-c%d", i, j), bps)
 			}
 		}
 	}
 	return f
+}
+
+// newLink registers a link in the fabric-wide registry, assigning it the
+// next id. Ids give the rebalancer a canonical processing order.
+func (f *Fabric) newLink(name string, capacity float64) *Link {
+	l := &Link{Name: name, Capacity: capacity, id: len(f.links)}
+	f.links = append(f.links, l)
+	return l
 }
 
 func (f *Fabric) rdmaEff(t topology.NICType) float64 {
@@ -233,17 +279,22 @@ func (f *Fabric) Latency(src, dst int, class Class) float64 {
 	}
 }
 
-// path returns the link sequence for a transfer.
-func (f *Fabric) path(src, dst int, class Class) []*Link {
+// path returns the link sequence for a transfer in a fixed-size array to
+// keep flow admission allocation-free.
+func (f *Fabric) path(src, dst int, class Class) ([maxPathLinks]*Link, int) {
+	var p [maxPathLinks]*Link
 	class = f.EffectiveClass(src, dst, class)
 	sn, dn := f.Topo.Device(src).Node, f.Topo.Device(dst).Node
 	switch class {
 	case Intra:
-		return []*Link{f.nodeIntra[sn]}
+		p[0] = f.nodeIntra[sn]
+		return p, 1
 	case RDMA:
-		return []*Link{f.nodeRDMAOut[sn], f.nodeRDMAIn[dn]}
+		p[0], p[1] = f.nodeRDMAOut[sn], f.nodeRDMAIn[dn]
+		return p, 2
 	default:
-		p := []*Link{f.nodeEthOut[sn], f.nodeEthIn[dn]}
+		p[0], p[1] = f.nodeEthOut[sn], f.nodeEthIn[dn]
+		n := 2
 		sc, dc := f.Topo.Device(src).Cluster, f.Topo.Device(dst).Cluster
 		if sc != dc {
 			lo, hi := sc, dc
@@ -251,10 +302,11 @@ func (f *Fabric) path(src, dst int, class Class) []*Link {
 				lo, hi = hi, lo
 			}
 			if trunk, ok := f.trunks[[2]int{lo, hi}]; ok {
-				p = append(p, trunk)
+				p[n] = trunk
+				n++
 			}
 		}
-		return p
+		return p, n
 	}
 }
 
@@ -286,13 +338,16 @@ func (f *Fabric) admit(fl *Flow) {
 		f.finish(fl)
 		return
 	}
-	fl.path = f.path(fl.Src, fl.Dst, fl.Class)
+	fl.path, fl.nPath = f.path(fl.Src, fl.Dst, fl.Class)
 	fl.updatedAt = f.eng.Now()
-	f.active[fl] = struct{}{}
-	for _, l := range fl.path {
-		l.flows[fl] = struct{}{}
+	fl.admitted = true
+	f.inFlight++
+	for i := 0; i < fl.nPath; i++ {
+		l := fl.path[i]
+		fl.pathPos[i] = len(l.flows)
+		l.flows = append(l.flows, fl)
 	}
-	f.rebalance()
+	f.scheduleRebalance(fl)
 }
 
 func (f *Fabric) finish(fl *Flow) {
@@ -300,83 +355,166 @@ func (f *Fabric) finish(fl *Flow) {
 		fl.doneEv.Cancel()
 		fl.doneEv = nil
 	}
-	for _, l := range fl.path {
-		delete(l.flows, fl)
+	if fl.admitted {
+		for i := 0; i < fl.nPath; i++ {
+			f.unlink(fl.path[i], fl.pathPos[i])
+		}
+		fl.admitted = false
+		f.inFlight--
+		fl.remaining = 0
+		f.scheduleRebalance(fl)
 	}
-	delete(f.active, fl)
 	done := fl.onDone
 	fl.onDone = nil
 	if done != nil {
 		done()
 	}
-	f.rebalance()
 }
 
-// rebalance recomputes max-min fair rates for all active flows and
-// reschedules their completion events.
-func (f *Fabric) rebalance() {
-	now := f.eng.Now()
-	// Drain progress accrued at the old rates.
-	for fl := range f.active {
-		fl.remaining -= fl.rate * (now - fl.updatedAt)
-		if fl.remaining < 0 {
-			fl.remaining = 0
-		}
-		fl.updatedAt = now
-	}
-	// Progressive filling.
-	rates := maxMinRates(f.active)
-	for fl, r := range rates {
-		fl.rate = r
-		if fl.doneEv != nil {
-			fl.doneEv.Cancel()
-			fl.doneEv = nil
-		}
-		fl := fl
-		var eta float64
-		if fl.remaining <= 0 {
-			eta = 0
-		} else if fl.rate <= 0 {
-			continue // starved; will be rescheduled at the next rebalance
-		} else {
-			eta = fl.remaining / fl.rate
-		}
-		fl.doneEv = f.eng.After(eta, func() { f.finish(fl) })
-	}
-}
-
-// maxMinRates runs progressive filling over the links referenced by the
-// active flows.
-func maxMinRates(active map[*Flow]struct{}) map[*Flow]float64 {
-	rates := make(map[*Flow]float64, len(active))
-	unfrozen := make(map[*Flow]struct{}, len(active))
-	linkSet := make(map[*Link]struct{})
-	for fl := range active {
-		unfrozen[fl] = struct{}{}
-		for _, l := range fl.path {
-			linkSet[l] = struct{}{}
-		}
-	}
-	residual := make(map[*Link]float64, len(linkSet))
-	for l := range linkSet {
-		residual[l] = l.Capacity
-	}
-	for len(unfrozen) > 0 {
-		// Find the most constraining link: min residual / unfrozen count.
-		var bottleneck *Link
-		best := math.Inf(1)
-		for l := range linkSet {
-			n := 0
-			for fl := range l.flows {
-				if _, ok := unfrozen[fl]; ok {
-					n++
-				}
+// unlink swap-removes the flow at pos from the link's flow list, fixing
+// the moved flow's recorded position.
+func (f *Fabric) unlink(l *Link, pos int) {
+	last := len(l.flows) - 1
+	moved := l.flows[last]
+	l.flows[pos] = moved
+	l.flows[last] = nil
+	l.flows = l.flows[:last]
+	if pos < last {
+		for i := 0; i < moved.nPath; i++ {
+			if moved.path[i] == l {
+				moved.pathPos[i] = pos
+				break
 			}
-			if n == 0 {
+		}
+	}
+}
+
+// scheduleRebalance queues the flow's links as rebalance seeds; see
+// scheduleLinkRebalance.
+func (f *Fabric) scheduleRebalance(fl *Flow) {
+	f.scheduleLinkRebalance(fl.path[:fl.nPath]...)
+}
+
+// scheduleLinkRebalance queues links as rebalance seeds and, if no pass
+// is pending, schedules one at the current instant. Scheduling instead
+// of recomputing inline coalesces simultaneous arrivals, departures, and
+// capacity changes — common when a collective's flows start or complete
+// together — into a single progressive-filling pass. It is the only
+// rebalance entry point; fault injection uses it too.
+func (f *Fabric) scheduleLinkRebalance(links ...*Link) {
+	for _, l := range links {
+		if !l.dirty {
+			l.dirty = true
+			f.dirtySeeds = append(f.dirtySeeds, l)
+		}
+	}
+	if !f.rebalPending {
+		f.rebalPending = true
+		f.eng.After(0, f.flushRebalance)
+	}
+}
+
+func (f *Fabric) flushRebalance() {
+	f.rebalPending = false
+	seeds := f.dirtySeeds
+	f.dirtySeeds = f.dirtySeeds[:0]
+	for _, l := range seeds {
+		l.dirty = false
+	}
+	f.rebalance(seeds)
+}
+
+// rebalance recomputes max-min fair rates and completion events for the
+// region of the fabric reachable from the seed links: the connected
+// component(s), via shared flows, that the last batch of arrivals and
+// departures touched. Flows outside the region keep their rates — a
+// max-min allocation decomposes over connected components, so they are
+// unaffected by construction. Under Params.FullRecompute the region is
+// the whole fabric, reproducing the original from-scratch behaviour.
+func (f *Fabric) rebalance(seeds []*Link) {
+	if f.Params.FullRecompute {
+		seeds = f.links
+	}
+	links, flows := f.region(seeds)
+	if len(flows) == 0 {
+		return
+	}
+	for _, fl := range flows {
+		fl.prevRate = fl.rate
+		fl.frozen = false
+	}
+	f.fill(links, flows)
+	f.reschedule(flows)
+}
+
+// region grows the seed links to the full set of links and flows whose
+// rates the change can affect, using epoch marks so the scratch never
+// needs clearing.
+func (f *Fabric) region(seeds []*Link) ([]*Link, []*Flow) {
+	f.epoch++
+	e := f.epoch
+	links := f.regionLinks[:0]
+	flows := f.regionFlows[:0]
+	for _, l := range seeds {
+		if l.seen != e && len(l.flows) > 0 {
+			l.seen = e
+			links = append(links, l)
+		}
+	}
+	for i := 0; i < len(links); i++ {
+		for _, fl := range links[i].flows {
+			if fl.seen == e {
 				continue
 			}
-			share := residual[l] / float64(n)
-			if share < best {
+			fl.seen = e
+			flows = append(flows, fl)
+			for j := 0; j < fl.nPath; j++ {
+				if l2 := fl.path[j]; l2.seen != e {
+					l2.seen = e
+					links = append(links, l2)
+				}
+			}
+		}
+	}
+	// Canonical link order keeps tie-breaking identical between the
+	// incremental and full-recompute passes.
+	sortLinksByID(links)
+	f.regionLinks, f.regionFlows = links, flows
+	return links, flows
+}
+
+// sortLinksByID is an in-place insertion sort; regions are small and the
+// input is mostly ordered, so this beats sort.Slice without allocating.
+func sortLinksByID(ls []*Link) {
+	for i := 1; i < len(ls); i++ {
+		l := ls[i]
+		j := i - 1
+		for j >= 0 && ls[j].id > l.id {
+			ls[j+1] = ls[j]
+			j--
+		}
+		ls[j+1] = l
+	}
+}
+
+// fill runs progressive filling over one region: repeatedly freeze the
+// flows of the most constraining link at its fair share (or flows at
+// their per-flow cap when that is lower) until every flow has a rate.
+func (f *Fabric) fill(links []*Link, flows []*Flow) {
+	for _, l := range links {
+		l.residual = l.Capacity
+		l.nUnfrozen = len(l.flows)
+	}
+	left := len(flows)
+	for left > 0 {
+		// Most constraining link: min residual / unfrozen count.
+		var bottleneck *Link
+		best := math.Inf(1)
+		for _, l := range links {
+			if l.nUnfrozen == 0 {
+				continue
+			}
+			if share := l.residual / float64(l.nUnfrozen); share < best {
 				best = share
 				bottleneck = l
 			}
@@ -384,17 +522,11 @@ func maxMinRates(active map[*Flow]struct{}) map[*Flow]float64 {
 		// Flows whose per-flow ceiling is below the fair share freeze at
 		// their cap first, returning the unused share to the links.
 		capped := false
-		for fl := range unfrozen {
-			if fl.cap < best {
-				rates[fl] = fl.cap
-				delete(unfrozen, fl)
-				for _, l := range fl.path {
-					residual[l] -= fl.cap
-					if residual[l] < 0 {
-						residual[l] = 0
-					}
-				}
+		for _, fl := range flows {
+			if !fl.frozen && fl.cap < best {
+				f.freeze(fl, fl.cap)
 				capped = true
+				left--
 			}
 		}
 		if capped {
@@ -403,33 +535,77 @@ func maxMinRates(active map[*Flow]struct{}) map[*Flow]float64 {
 		if bottleneck == nil {
 			// Remaining flows traverse only flow-free links; give them a
 			// degenerate zero rate (cannot happen with well-formed paths).
-			for fl := range unfrozen {
-				rates[fl] = 0
-				delete(unfrozen, fl)
+			for _, fl := range flows {
+				if !fl.frozen {
+					f.freeze(fl, 0)
+					left--
+				}
 			}
 			break
 		}
 		// Freeze the flows crossing the bottleneck at the fair share and
 		// charge every link on their paths.
-		for fl := range bottleneck.flows {
-			if _, ok := unfrozen[fl]; !ok {
-				continue
-			}
-			rates[fl] = best
-			delete(unfrozen, fl)
-			for _, l := range fl.path {
-				residual[l] -= best
-				if residual[l] < 0 {
-					residual[l] = 0
-				}
+		for _, fl := range bottleneck.flows {
+			if !fl.frozen {
+				f.freeze(fl, best)
+				left--
 			}
 		}
 	}
-	return rates
+}
+
+func (f *Fabric) freeze(fl *Flow, rate float64) {
+	fl.frozen = true
+	fl.rate = rate
+	for i := 0; i < fl.nPath; i++ {
+		l := fl.path[i]
+		l.residual -= rate
+		if l.residual < 0 {
+			l.residual = 0
+		}
+		l.nUnfrozen--
+	}
+}
+
+// reschedule re-arms completion events after a filling pass. A flow whose
+// rate did not change keeps both its event and its progress bookkeeping —
+// the absolute completion time computed when the rate was set is still
+// exact. Progress drains lazily, in one multiply over the whole
+// constant-rate interval, only when the rate actually changes; besides
+// being cheaper, this makes the incremental and full-recompute modes
+// bit-identical (piecewise drains would differ in final-ulp noise that a
+// long chaotic simulation then amplifies).
+func (f *Fabric) reschedule(flows []*Flow) {
+	now := f.eng.Now()
+	for _, fl := range flows {
+		if fl.doneEv != nil && fl.rate == fl.prevRate {
+			continue
+		}
+		fl.remaining -= fl.prevRate * (now - fl.updatedAt)
+		if fl.remaining < 0 {
+			fl.remaining = 0
+		}
+		fl.updatedAt = now
+		if fl.doneEv != nil {
+			fl.doneEv.Cancel()
+			fl.doneEv = nil
+		}
+		var eta float64
+		switch {
+		case fl.remaining <= 0:
+			eta = 0
+		case fl.rate <= 0:
+			continue // starved; rescheduled at the next rebalance it joins
+		default:
+			eta = fl.remaining / fl.rate
+		}
+		fl := fl
+		fl.doneEv = f.eng.After(eta, func() { f.finish(fl) })
+	}
 }
 
 // InFlight reports the number of active flows.
-func (f *Fabric) InFlight() int { return len(f.active) }
+func (f *Fabric) InFlight() int { return f.inFlight }
 
 // TransferTime returns the contention-free α–β estimate for moving the
 // given bytes between two ranks on a class: latency + bytes/bottleneck.
@@ -452,9 +628,10 @@ func (f *Fabric) TransferTime(src, dst int, bytes float64, class Class) float64 
 // per-flow Ethernet stream cap).
 func (f *Fabric) PairBandwidth(src, dst int, class Class) float64 {
 	bw := math.Inf(1)
-	for _, l := range f.path(src, dst, class) {
-		if l.Capacity < bw {
-			bw = l.Capacity
+	path, n := f.path(src, dst, class)
+	for i := 0; i < n; i++ {
+		if path[i].Capacity < bw {
+			bw = path[i].Capacity
 		}
 	}
 	if f.EffectiveClass(src, dst, class) == Ether && f.Params.EthPerFlowBytesPerSec > 0 &&

@@ -29,6 +29,17 @@ type Degrees struct {
 	D int // data parallel size
 }
 
+// TileDegrees validates that tensor degree t and pipeline degree p tile n
+// devices exactly and derives the data-parallel degree d = n/(t·p). It is
+// the single home of the "do not tile" check the trainer and the planner
+// both apply, so their messages and semantics cannot drift.
+func TileDegrees(n, t, p int) (Degrees, error) {
+	if t <= 0 || p <= 0 || n%(t*p) != 0 {
+		return Degrees{}, fmt.Errorf("parallel: degrees t=%d p=%d do not tile %d devices", t, p, n)
+	}
+	return Degrees{T: t, P: p, D: n / (t * p)}, nil
+}
+
 // Validate checks the §2.4 constraints against a world size and node shape.
 func (g Degrees) Validate(n, gpusPerNode int) error {
 	switch {

@@ -1,0 +1,48 @@
+// Package pool provides the bounded worker pool the concurrent layers
+// share: experiment grids, the pipeline-degree search, and any future
+// fan-out over independent simulations. One implementation keeps the
+// clamping and hand-off semantics identical everywhere.
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Run executes fn(i) for every i in [0, n) on at most workers
+// goroutines (clamped to [1, n]) and returns when all calls finish.
+// Callers provide determinism by writing results at index i; Run itself
+// guarantees only that every index runs exactly once.
+func Run(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

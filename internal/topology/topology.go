@@ -250,6 +250,23 @@ func (t *Topology) String() string {
 	return b.String()
 }
 
+// Fingerprint returns a stable structural identity for the topology:
+// equal cluster/node/NIC/memory layouts yield equal fingerprints even for
+// independently built values. Plan and world caches key on it, so it must
+// cover everything communicator construction and the fabric read.
+func (t *Topology) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "g%d", t.GPUsPerNode)
+	for _, c := range t.Clusters {
+		fmt.Fprintf(&b, "|%v:%d", c.NICType, len(c.Nodes))
+		for _, n := range c.Nodes {
+			fmt.Fprintf(&b, ";%v*%dx%.0f:%v:e%.0f:m%d",
+				n.RDMAType(), len(n.NICs), n.RDMAGbps(), n.Intra, n.EthNIC.Gbps, n.MemBytesPerGPU)
+		}
+	}
+	return b.String()
+}
+
 // Validate checks the §2.4 structural invariants: at least one cluster,
 // every node holds exactly G devices, ranks are dense and ordered.
 func (t *Topology) Validate() error {

@@ -38,6 +38,12 @@ type Config struct {
 	Opt *Options
 	// Calib overrides calibration constants when non-nil.
 	Calib *Calibration
+	// World supplies prebuilt communicators (with their Assignment) so
+	// callers that already constructed them — the planner, the pipeline
+	// search — do not pay for a rebuild per simulation. It must match the
+	// topology's device count, the degrees, and the options' NIC
+	// selection; Simulate rejects mismatches rather than guessing.
+	World *comm.World
 }
 
 // Report is the outcome of one simulated iteration.
@@ -94,17 +100,29 @@ func Simulate(cfg Config) (Report, error) {
 
 	n := cfg.Topo.NumDevices()
 	t, p := cfg.TensorSize, cfg.PipelineSize
-	if t <= 0 || p <= 0 || n%(t*p) != 0 {
-		return Report{}, fmt.Errorf("trainer: t=%d, p=%d do not tile %d devices", t, p, n)
-	}
-	deg := parallel.Degrees{T: t, P: p, D: n / (t * p)}
-	assign, err := parallel.New(n, cfg.Topo.GPUsPerNode, deg)
+	deg, err := parallel.TileDegrees(n, t, p)
 	if err != nil {
 		return Report{}, err
 	}
-	world, err := comm.BuildWorld(cfg.Topo, assign, opt.NICSelection)
-	if err != nil {
-		return Report{}, err
+	var assign *parallel.Assignment
+	var world *comm.World
+	if cfg.World != nil {
+		world, assign = cfg.World, cfg.World.Assign
+		if assign == nil || assign.Degrees != deg || assign.N != n || world.Selection != opt.NICSelection {
+			return Report{}, fmt.Errorf("trainer: prebuilt world does not match config (degrees %+v, selection %v)", deg, opt.NICSelection)
+		}
+		if world.Topo != cfg.Topo && world.Topo.Fingerprint() != cfg.Topo.Fingerprint() {
+			return Report{}, fmt.Errorf("trainer: prebuilt world was built on a different topology")
+		}
+	} else {
+		assign, err = parallel.New(n, cfg.Topo.GPUsPerNode, deg)
+		if err != nil {
+			return Report{}, err
+		}
+		world, err = comm.BuildWorld(cfg.Topo, assign, opt.NICSelection)
+		if err != nil {
+			return Report{}, err
+		}
 	}
 	m, err := cfg.Spec.MicroBatches(deg.D)
 	if err != nil {
