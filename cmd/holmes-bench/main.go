@@ -24,6 +24,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"holmes/internal/engine"
 	"holmes/internal/experiments"
 	"holmes/internal/metrics"
 )
@@ -39,11 +40,12 @@ func main() {
 	)
 	flag.Parse()
 
+	var suite experiments.Suite
 	switch *mode {
 	case "fast":
+		suite = experiments.NewSuite(engine.New(engine.Config{}))
 	case "baseline":
-		experiments.Concurrency = 1
-		experiments.FullRecompute = true
+		suite = experiments.NewSuite(engine.New(engine.Config{Concurrency: 1, FullRecompute: true}))
 	default:
 		fmt.Fprintf(os.Stderr, "holmes-bench: unknown -mode %q (want fast or baseline)\n", *mode)
 		os.Exit(2)
@@ -57,7 +59,7 @@ func main() {
 		ids = []string{*exp}
 	}
 	for _, id := range ids {
-		rows, elapsed, err := measure(id, *count)
+		rows, elapsed, err := measure(suite, id, *count)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "holmes-bench:", err)
 			os.Exit(1)
@@ -80,12 +82,12 @@ func main() {
 
 // measure runs the experiment count times, returning the rows and the
 // fastest wall time.
-func measure(id string, count int) ([]experiments.Row, time.Duration, error) {
+func measure(suite experiments.Suite, id string, count int) ([]experiments.Row, time.Duration, error) {
 	var rows []experiments.Row
 	var best time.Duration
 	for i := 0; i < count; i++ {
 		start := time.Now()
-		r, err := experiments.Run(id)
+		r, err := suite.Run(id)
 		if err != nil {
 			return nil, 0, err
 		}

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	holmes-plan -env Hybrid -nodes 8 -group 3 -tensor 1 -pipeline 4
-//	holmes-plan -env Hybrid -nodes 8 -group 3 -auto
+//	holmes-plan -env Hybrid -nodes 8 -group 3 -auto     # search p at fixed t
+//	holmes-plan -env Hybrid -nodes 8 -group 3 -search   # joint (t, p) search
 package main
 
 import (
@@ -25,8 +26,9 @@ func main() {
 		nodes   = flag.Int("nodes", 8, "total node count (8 GPUs each)")
 		group   = flag.Int("group", 1, "parameter group 1-4 (Table 2)")
 		tensor  = flag.Int("tensor", 1, "tensor parallel degree")
-		pipe    = flag.Int("pipeline", 0, "pipeline parallel degree (0 with -auto)")
-		auto    = flag.Bool("auto", false, "search the pipeline degree")
+		pipe    = flag.Int("pipeline", 0, "pipeline parallel degree (0 with -auto/-search)")
+		auto    = flag.Bool("auto", false, "search the pipeline degree at the given tensor degree")
+		search  = flag.Bool("search", false, "search tensor and pipeline degrees jointly")
 		verbose = flag.Bool("v", false, "also dump every communication group")
 	)
 	flag.Parse()
@@ -42,7 +44,10 @@ func main() {
 	}
 
 	var plan *core.Plan
-	if *auto {
+	if *search {
+		fmt.Printf("searching %d feasible (t, p) cells\n\n", len(pl.SearchSpace()))
+		plan, err = pl.SearchPlan()
+	} else if *auto {
 		plan, err = pl.SearchPipeline(*tensor)
 	} else {
 		p := *pipe
@@ -60,7 +65,10 @@ func main() {
 	fmt.Println()
 	fmt.Print(plan.Describe())
 
-	costs := pl.CommunicationCost(plan)
+	costs, err := pl.CommunicationCost(plan)
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Println("\nper-iteration communication volume:")
 	tb := metrics.New("kind", "GiB")
 	for kind, bytes := range costs {

@@ -1,0 +1,53 @@
+// Command holmes-serve exposes the Holmes scheduler as a JSON/HTTP
+// daemon: each request plans on one shared engine concurrently, so many
+// tenants (users, scenarios) can search plans against the same process.
+//
+// Usage:
+//
+//	holmes-serve -addr :8080
+//	holmes-serve -addr :8080 -workers 16 -cache 1024
+//
+//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/v1/plan \
+//	  -d '{"env":"Hybrid","nodes":8,"model":{"group":3},"tensor_size":1,"pipeline_size":4}'
+//	curl -s localhost:8080/v1/search -d '{"env":"Hybrid","nodes":8,"model":{"group":3}}'
+//	curl -s -X POST localhost:8080/v1/experiments/table1
+//
+// Request bodies use the same JSON schema as cmd/holmes-sim -config
+// (clusters or the env/nodes shorthand, model group or explicit
+// architecture, framework, component toggles).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"holmes/internal/api"
+	"holmes/internal/engine"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "engine worker-pool bound (0 = CPU count)")
+		cache   = flag.Int("cache", 0, "communicator cache entries (0 = default 512, negative = disabled)")
+		oracle  = flag.Bool("full-recompute", false, "simulate on the netsim full-recompute oracle (reference arm)")
+	)
+	flag.Parse()
+
+	eng := engine.New(engine.Config{
+		Concurrency:   *workers,
+		CacheSize:     *cache,
+		FullRecompute: *oracle,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           api.NewServer(eng).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("holmes-serve %s listening on %s (workers=%d)\n", api.Version, *addr, eng.Concurrency())
+	log.Fatal(srv.ListenAndServe())
+}

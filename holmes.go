@@ -11,15 +11,30 @@
 //	plan, err := holmes.Plan(topo, spec, 1, 4)  // t=1, p=4
 //	fmt.Print(plan.Describe())
 //
+// Multi-tenant use goes through an explicit Engine, which owns the
+// communicator cache, the worker pool, and the simulation knobs; any
+// number of goroutines can share one engine, and independent engines
+// never interfere:
+//
+//	eng := holmes.NewEngine(holmes.EngineConfig{})
+//	best, err := holmes.SearchPlanOn(eng, topo, spec)  // joint (t, p) search
+//	rows, err := holmes.RunExperimentOn(eng, "table3")
+//
+// The same engine backs cmd/holmes-serve, a JSON/HTTP daemon:
+//
+//	go run ./cmd/holmes-serve -addr :8080 &
+//	curl -s localhost:8080/v1/plan -d '{"env":"Hybrid","nodes":8,"model":{"group":3},"tensor_size":1,"pipeline_size":4}'
+//
 // The heavy lifting lives in the internal packages (topology, netsim,
-// parallel, partition, pipeline, comm, trainer, core); this package
-// re-exports the stable surface.
+// parallel, partition, pipeline, comm, trainer, core, engine, api); this
+// package re-exports the stable surface.
 package holmes
 
 import (
 	"fmt"
 
 	"holmes/internal/core"
+	"holmes/internal/engine"
 	"holmes/internal/experiments"
 	"holmes/internal/model"
 	"holmes/internal/topology"
@@ -48,6 +63,12 @@ type (
 	Options = trainer.Options
 	// ExperimentRow is one paper-vs-measured result row.
 	ExperimentRow = experiments.Row
+	// Engine owns the shared execution resources: the communicator LRU
+	// cache, the bounded worker pool, and the netsim knobs. Immutable
+	// after construction and safe for any number of goroutines.
+	Engine = engine.Engine
+	// EngineConfig fixes an Engine's behaviour at construction.
+	EngineConfig = engine.Config
 )
 
 // NIC technologies.
@@ -89,10 +110,23 @@ func ParameterGroup(id int) ModelSpec { return model.Group(id).Spec }
 // GPT39B returns the 39.1-billion-parameter scalability model (Figure 7).
 func GPT39B(globalBatch int) ModelSpec { return model.GPT39B(globalBatch) }
 
+// NewEngine constructs an isolated engine. Zero config fields take
+// defaults (CPU-count concurrency, 512-entry cache, incremental netsim).
+func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
+
+// DefaultEngine returns the shared process-wide engine the engine-less
+// entry points (Plan, AutoPlan, RunExperiment, ...) delegate to.
+func DefaultEngine() *Engine { return engine.Default() }
+
 // Plan builds a Holmes training plan for the topology with tensor degree
 // t and pipeline degree p, simulating one iteration for its report.
 func Plan(topo *Topology, spec ModelSpec, t, p int) (*TrainingPlan, error) {
-	pl, err := core.NewPlanner(topo, spec)
+	return PlanOn(nil, topo, spec, t, p)
+}
+
+// PlanOn is Plan on an explicit engine (nil = the shared default).
+func PlanOn(eng *Engine, topo *Topology, spec ModelSpec, t, p int) (*TrainingPlan, error) {
+	pl, err := core.NewPlannerOn(eng, topo, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -114,11 +148,34 @@ func PlanWith(topo *Topology, spec ModelSpec, t, p int, fw Framework, opt *Optio
 // AutoPlan searches the pipeline degree for the best plan at tensor
 // degree t.
 func AutoPlan(topo *Topology, spec ModelSpec, t int) (*TrainingPlan, error) {
-	pl, err := core.NewPlanner(topo, spec)
+	return AutoPlanOn(nil, topo, spec, t)
+}
+
+// AutoPlanOn is AutoPlan on an explicit engine (nil = the shared
+// default).
+func AutoPlanOn(eng *Engine, topo *Topology, spec ModelSpec, t int) (*TrainingPlan, error) {
+	pl, err := core.NewPlannerOn(eng, topo, spec)
 	if err != nil {
 		return nil, err
 	}
 	return pl.SearchPipeline(t)
+}
+
+// SearchPlan searches tensor and pipeline degrees jointly over every
+// feasible (t, p) cell and returns the best plan, deterministically (the
+// winner never depends on pool scheduling).
+func SearchPlan(topo *Topology, spec ModelSpec) (*TrainingPlan, error) {
+	return SearchPlanOn(nil, topo, spec)
+}
+
+// SearchPlanOn is SearchPlan on an explicit engine (nil = the shared
+// default).
+func SearchPlanOn(eng *Engine, topo *Topology, spec ModelSpec) (*TrainingPlan, error) {
+	pl, err := core.NewPlannerOn(eng, topo, spec)
+	if err != nil {
+		return nil, err
+	}
+	return pl.SearchPlan()
 }
 
 // Simulate runs one training iteration of the given framework and
@@ -132,7 +189,13 @@ func Simulate(topo *Topology, spec ModelSpec, t, p int, fw Framework) (Report, e
 // RunExperiment regenerates a paper table or figure by id: "table1",
 // "table3", "table4", "fig4", "fig5", "fig6", "fig7".
 func RunExperiment(id string) ([]ExperimentRow, error) {
-	return experiments.Run(id)
+	return RunExperimentOn(nil, id)
+}
+
+// RunExperimentOn is RunExperiment on an explicit engine (nil = the
+// shared default).
+func RunExperimentOn(eng *Engine, id string) ([]ExperimentRow, error) {
+	return experiments.NewSuite(eng).Run(id)
 }
 
 // Experiments lists the experiment ids in paper order.

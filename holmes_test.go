@@ -1,6 +1,7 @@
 package holmes
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -83,5 +84,54 @@ func TestGPT39BPublic(t *testing.T) {
 	spec := GPT39B(1536)
 	if spec.Layers != 48 || spec.Hidden != 8192 {
 		t.Fatalf("GPT39B shape wrong: %+v", spec)
+	}
+}
+
+func TestEngineFacade(t *testing.T) {
+	eng := NewEngine(EngineConfig{Concurrency: 2, CacheSize: 64})
+	topo := Hybrid(4)
+	spec := ParameterGroup(1)
+	plan, err := PlanOn(eng, topo, spec, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Report.Throughput <= 0 {
+		t.Fatalf("empty report: %+v", plan.Report)
+	}
+	// The engine-less call and the default-engine call agree bit-for-bit.
+	viaDefault, err := Plan(topo, spec, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plan.Report, viaDefault.Report) {
+		t.Fatalf("engine plan diverged from default-engine plan")
+	}
+	rows, err := RunExperimentOn(eng, "table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("table1 rows = %d", len(rows))
+	}
+	if DefaultEngine() == nil || DefaultEngine() != DefaultEngine() {
+		t.Fatal("DefaultEngine must be one shared engine")
+	}
+}
+
+func TestSearchPlanPublic(t *testing.T) {
+	topo := Hybrid(4)
+	spec := ParameterGroup(1)
+	best, err := SearchPlan(topo, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The joint search can only improve on any single-t search.
+	atT1, err := AutoPlan(topo, spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Report.Throughput < atT1.Report.Throughput {
+		t.Fatalf("joint search (%.2f) lost to its own t=1 restriction (%.2f)",
+			best.Report.Throughput, atT1.Report.Throughput)
 	}
 }

@@ -1,0 +1,287 @@
+// Package api is the JSON/HTTP surface of the Holmes scheduler
+// (cmd/holmes-serve): a thin, stateless handler layer over one shared
+// engine.Engine. Every request plans on the shared engine concurrently —
+// the engine's communicator cache and worker pool are internally
+// synchronized and its knobs are immutable, so requests never interfere
+// (the property the engine refactor bought; see DESIGN.md).
+//
+// Routes:
+//
+//	GET  /healthz              liveness + engine cache statistics
+//	POST /v1/plan              plan fixed (t, p) degrees
+//	POST /v1/search            joint (t, p) search for the best plan
+//	POST /v1/experiments/{id}  regenerate a paper table/figure
+//
+// Request bodies reuse the config.Config schema of cmd/holmes-sim
+// (clusters or the env/nodes shorthand, model group or explicit
+// architecture, framework, component toggles).
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"holmes/internal/config"
+	"holmes/internal/core"
+	"holmes/internal/engine"
+	"holmes/internal/experiments"
+)
+
+// Version identifies the API release (mirrors the facade version).
+const Version = "1.1.0"
+
+// Server serves the Holmes planning API on one shared engine.
+type Server struct {
+	eng *engine.Engine
+}
+
+// NewServer returns a server on the given engine (nil = the shared
+// default engine).
+func NewServer(eng *engine.Engine) *Server {
+	if eng == nil {
+		eng = engine.Default()
+	}
+	return &Server{eng: eng}
+}
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/plan", s.handlePlan)
+	mux.HandleFunc("POST /v1/search", s.handleSearch)
+	mux.HandleFunc("POST /v1/experiments/{id}", s.handleExperiment)
+	return mux
+}
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // headers are out; nothing useful to do on failure
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// HealthResponse reports liveness and engine observability.
+type HealthResponse struct {
+	Status      string            `json:"status"`
+	Version     string            `json:"version"`
+	Concurrency int               `json:"concurrency"`
+	Cache       engine.CacheStats `json:"cache"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:      "ok",
+		Version:     Version,
+		Concurrency: s.eng.Concurrency(),
+		Cache:       s.eng.CacheStats(),
+	})
+}
+
+// DegreesJSON is the (t, p, d) triple of a plan.
+type DegreesJSON struct {
+	Tensor   int `json:"tensor"`
+	Pipeline int `json:"pipeline"`
+	Data     int `json:"data"`
+}
+
+// ReportJSON carries the simulated performance of a plan.
+type ReportJSON struct {
+	TFLOPS          float64 `json:"tflops_per_gpu"`
+	Throughput      float64 `json:"samples_per_sec"`
+	IterSeconds     float64 `json:"iteration_seconds"`
+	ReduceScatterMs float64 `json:"reduce_scatter_ms"`
+	MicroBatches    int     `json:"micro_batches"`
+}
+
+// PlanResponse is the outcome of /v1/plan and the winner part of
+// /v1/search.
+type PlanResponse struct {
+	Degrees   DegreesJSON `json:"degrees"`
+	Partition string      `json:"partition"`
+	Report    ReportJSON  `json:"report"`
+	// DPGroupsByNIC counts data-parallel groups per selected NIC.
+	DPGroupsByNIC map[string]int `json:"dp_groups_by_nic"`
+	// CommBytes is the per-kind estimated communication volume (bytes).
+	CommBytes map[string]float64 `json:"comm_bytes"`
+}
+
+func planResponse(pl *core.Planner, plan *core.Plan) (PlanResponse, error) {
+	costs, err := pl.CommunicationCost(plan)
+	if err != nil {
+		return PlanResponse{}, err
+	}
+	commBytes := make(map[string]float64, len(costs))
+	for kind, b := range costs {
+		commBytes[kind.String()] = b
+	}
+	nics := make(map[string]int)
+	for _, g := range plan.World.DPGroups {
+		nics[g.NIC.String()]++
+	}
+	return PlanResponse{
+		Degrees:   DegreesJSON{Tensor: plan.Degrees.T, Pipeline: plan.Degrees.P, Data: plan.Degrees.D},
+		Partition: plan.Partition.String(),
+		Report: ReportJSON{
+			TFLOPS:          plan.Report.TFLOPS,
+			Throughput:      plan.Report.Throughput,
+			IterSeconds:     plan.Report.IterSeconds,
+			ReduceScatterMs: plan.Report.ReduceScatterSeconds * 1000,
+			MicroBatches:    plan.Report.Micro,
+		},
+		DPGroupsByNIC: nics,
+		CommBytes:     commBytes,
+	}, nil
+}
+
+// maxBodyBytes bounds a request body; configs are a few hundred bytes.
+const maxBodyBytes = 1 << 20
+
+// maxNodes bounds the topology one request may ask the shared daemon to
+// materialize: the simulator handles hundreds of nodes comfortably, but
+// an unbounded count would let a single request allocate the whole
+// process away from every other tenant.
+const maxNodes = 512
+
+// decode parses a config.Config request body strictly and applies the
+// server-side resource bounds.
+func decode(w http.ResponseWriter, r *http.Request) (*config.Config, error) {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	defer body.Close()
+	c, err := config.Load(body)
+	if err != nil {
+		return nil, err
+	}
+	nodes := c.Nodes
+	for _, cl := range c.Clusters {
+		nodes += cl.Nodes
+	}
+	if nodes > maxNodes {
+		return nil, fmt.Errorf("api: %d nodes exceeds the per-request limit of %d", nodes, maxNodes)
+	}
+	return c, nil
+}
+
+// planner builds a request-scoped planner on the server's shared engine.
+func (s *Server) planner(c *config.Config) (*core.Planner, error) {
+	topo, spec, fw, opt, err := c.Components()
+	if err != nil {
+		return nil, err
+	}
+	pl, err := core.NewPlannerOn(s.eng, topo, spec)
+	if err != nil {
+		return nil, err
+	}
+	pl.Framework = fw
+	pl.Opt = opt
+	return pl, nil
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	c, err := decode(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if c.TensorSize < 1 || c.PipelineSize < 1 {
+		writeError(w, http.StatusBadRequest, "plan needs tensor_size >= 1 and pipeline_size >= 1 (use /v1/search to search degrees)")
+		return
+	}
+	pl, err := s.planner(c)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	plan, err := pl.Plan(c.TensorSize, c.PipelineSize)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	resp, err := planResponse(pl, plan)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// SearchResponse is the outcome of /v1/search.
+type SearchResponse struct {
+	Winner PlanResponse `json:"winner"`
+	// CellsExplored counts the feasible (t, p) candidates simulated.
+	CellsExplored int           `json:"cells_explored"`
+	Cells         []DegreesJSON `json:"cells"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	c, err := decode(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if c.TensorSize != 0 || c.PipelineSize != 0 {
+		writeError(w, http.StatusBadRequest, "search picks tensor_size and pipeline_size itself; omit them (use /v1/plan for fixed degrees)")
+		return
+	}
+	pl, err := s.planner(c)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	space := pl.SearchSpace()
+	best, err := pl.SearchPlan()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	winner, err := planResponse(pl, best)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	resp := SearchResponse{Winner: winner, CellsExplored: len(space)}
+	for _, d := range space {
+		resp.Cells = append(resp.Cells, DegreesJSON{Tensor: d.T, Pipeline: d.P, Data: d.D})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ExperimentResponse is the outcome of /v1/experiments/{id}.
+type ExperimentResponse struct {
+	Experiment string            `json:"experiment"`
+	Rows       []experiments.Row `json:"rows"`
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rows, err := experiments.NewSuite(s.eng).Run(id)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if !validExperiment(id) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ExperimentResponse{Experiment: id, Rows: rows})
+}
+
+func validExperiment(id string) bool {
+	for _, name := range experiments.Names {
+		if id == name {
+			return true
+		}
+	}
+	return false
+}

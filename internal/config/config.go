@@ -36,11 +36,16 @@ type ModelConfig struct {
 
 // Config is a full experiment description.
 type Config struct {
-	Clusters     []ClusterConfig `json:"clusters"`
+	// Env / Nodes are a shorthand for one of the paper's four standard
+	// environments ("InfiniBand", "RoCE", "Ethernet", "Hybrid"); mutually
+	// exclusive with Clusters.
+	Env          string          `json:"env,omitempty"`
+	Nodes        int             `json:"nodes,omitempty"`
+	Clusters     []ClusterConfig `json:"clusters,omitempty"`
 	GPUsPerNode  int             `json:"gpus_per_node,omitempty"`
 	Model        ModelConfig     `json:"model"`
-	TensorSize   int             `json:"tensor_size"`
-	PipelineSize int             `json:"pipeline_size"`
+	TensorSize   int             `json:"tensor_size,omitempty"`
+	PipelineSize int             `json:"pipeline_size,omitempty"`
 	Framework    string          `json:"framework,omitempty"` // default Holmes
 	// Optional component toggles (default: framework profile).
 	SelfAdapting *bool    `json:"self_adapting,omitempty"`
@@ -84,6 +89,21 @@ func nicType(s string) (topology.NICType, error) {
 
 // Topology builds the configured topology.
 func (c *Config) Topology() (*topology.Topology, error) {
+	if c.Env != "" {
+		if len(c.Clusters) > 0 {
+			return nil, fmt.Errorf("config: env shorthand and clusters are mutually exclusive")
+		}
+		if c.GPUsPerNode != 0 && c.GPUsPerNode != topology.DefaultGPUsPerNode {
+			// topology.Env builds the paper's standard nodes; silently
+			// ignoring a custom GPU count would answer for different
+			// hardware than the caller asked about.
+			return nil, fmt.Errorf("config: env shorthand uses the standard %d-GPU nodes; use clusters to set gpus_per_node", topology.DefaultGPUsPerNode)
+		}
+		if c.Nodes <= 0 {
+			return nil, fmt.Errorf("config: env %q needs nodes > 0", c.Env)
+		}
+		return topology.Env(topology.EnvName(c.Env), c.Nodes)
+	}
 	if len(c.Clusters) == 0 {
 		return nil, fmt.Errorf("config: no clusters")
 	}
@@ -126,37 +146,48 @@ func (c *Config) Spec() (model.Spec, error) {
 	return s, s.Validate()
 }
 
-// TrainerConfig resolves the full trainer configuration.
-func (c *Config) TrainerConfig() (trainer.Config, error) {
+// Components resolves the planner-facing pieces of the configuration:
+// the topology, the model spec, the framework, and the option overrides
+// (nil = framework profile defaults).
+func (c *Config) Components() (*topology.Topology, model.Spec, trainer.Framework, *trainer.Options, error) {
 	topo, err := c.Topology()
 	if err != nil {
-		return trainer.Config{}, err
+		return nil, model.Spec{}, "", nil, err
 	}
 	spec, err := c.Spec()
 	if err != nil {
-		return trainer.Config{}, err
+		return nil, model.Spec{}, "", nil, err
 	}
 	fw := trainer.Framework(c.Framework)
 	if c.Framework == "" {
 		fw = trainer.Holmes
 	}
-	cfg := trainer.Config{
-		Topo: topo, Spec: spec,
-		TensorSize: c.TensorSize, PipelineSize: c.PipelineSize,
-		Framework: fw,
-	}
+	var opt *trainer.Options
 	if c.SelfAdapting != nil || c.Overlapped != nil || c.Alpha != nil {
-		opt := trainer.DefaultOptions(fw)
+		o := trainer.DefaultOptions(fw)
 		if c.SelfAdapting != nil {
-			opt.SelfAdaptingPartition = *c.SelfAdapting
+			o.SelfAdaptingPartition = *c.SelfAdapting
 		}
 		if c.Overlapped != nil {
-			opt.OverlappedOptimizer = *c.Overlapped
+			o.OverlappedOptimizer = *c.Overlapped
 		}
 		if c.Alpha != nil {
-			opt.Alpha = *c.Alpha
+			o.Alpha = *c.Alpha
 		}
-		cfg.Opt = &opt
+		opt = &o
 	}
-	return cfg, nil
+	return topo, spec, fw, opt, nil
+}
+
+// TrainerConfig resolves the full trainer configuration.
+func (c *Config) TrainerConfig() (trainer.Config, error) {
+	topo, spec, fw, opt, err := c.Components()
+	if err != nil {
+		return trainer.Config{}, err
+	}
+	return trainer.Config{
+		Topo: topo, Spec: spec,
+		TensorSize: c.TensorSize, PipelineSize: c.PipelineSize,
+		Framework: fw, Opt: opt,
+	}, nil
 }

@@ -9,21 +9,24 @@
 //     §3.2);
 //   - divides model layers over stages by effective stage speed
 //     (Self-Adapting Pipeline Partition, §3.3, Eq. 4–5);
-//   - and can search the pipeline degree by simulating candidates.
+//   - and can search the tensor and pipeline degrees jointly by
+//     simulating candidates.
+//
+// The planner holds no package-level mutable state: communicator caching
+// and the bounded search pool live on an engine.Engine, so concurrent
+// planners (and concurrent tenants of one planner) never interfere.
 package core
 
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"strings"
-	"sync"
 
 	"holmes/internal/comm"
+	"holmes/internal/engine"
 	"holmes/internal/model"
 	"holmes/internal/parallel"
 	"holmes/internal/partition"
-	"holmes/internal/pool"
 	"holmes/internal/topology"
 	"holmes/internal/trainer"
 )
@@ -36,6 +39,9 @@ type Planner struct {
 	Framework trainer.Framework
 	// Opt overrides the framework profile (nil = profile defaults).
 	Opt *trainer.Options
+	// Engine supplies the communicator cache and the search worker pool.
+	// Nil falls back to the shared default engine.
+	Engine *engine.Engine
 }
 
 // Plan is one concrete scheduling decision.
@@ -48,8 +54,15 @@ type Plan struct {
 	Report trainer.Report
 }
 
-// NewPlanner validates inputs and returns a planner.
+// NewPlanner validates inputs and returns a planner on the shared default
+// engine.
 func NewPlanner(topo *topology.Topology, spec model.Spec) (*Planner, error) {
+	return NewPlannerOn(nil, topo, spec)
+}
+
+// NewPlannerOn validates inputs and returns a planner bound to the given
+// engine (nil = the shared default engine).
+func NewPlannerOn(eng *engine.Engine, topo *topology.Topology, spec model.Spec) (*Planner, error) {
 	if topo == nil {
 		return nil, fmt.Errorf("core: nil topology")
 	}
@@ -59,67 +72,23 @@ func NewPlanner(topo *topology.Topology, spec model.Spec) (*Planner, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	return &Planner{Topo: topo, Spec: spec, Framework: trainer.Holmes}, nil
+	return &Planner{Topo: topo, Spec: spec, Framework: trainer.Holmes, Engine: eng}, nil
 }
 
-// planKey identifies a cached assignment+world: the structural topology
-// fingerprint, the fixed degrees, and the NIC-selection policy (the only
-// inputs communicator construction depends on).
-type planKey struct {
-	fp   string
-	t, p int
-	sel  comm.Selection
-}
-
-type planEntry struct {
-	assign *parallel.Assignment
-	world  *comm.World
-}
-
-// planCache memoizes communicator construction across Plan calls — the
-// pipeline search and the experiment grids re-plan the same topologies
-// over and over. Entries are immutable after insertion (assignments and
-// worlds are read-only during simulation), so sharing across goroutines
-// is safe.
-var planCache = struct {
-	sync.Mutex
-	m map[planKey]planEntry
-}{m: make(map[planKey]planEntry)}
-
-// planCacheMax bounds the cache; on overflow it is simply cleared (the
-// working set of any realistic search is far smaller).
-const planCacheMax = 512
-
-func cachedWorld(topo *topology.Topology, deg parallel.Degrees, sel comm.Selection) (*parallel.Assignment, *comm.World, error) {
-	key := planKey{fp: topo.Fingerprint(), t: deg.T, p: deg.P, sel: sel}
-	planCache.Lock()
-	e, ok := planCache.m[key]
-	planCache.Unlock()
-	if ok {
-		return e.assign, e.world, nil
+// engine returns the planner's engine, defaulting to the shared one.
+func (pl *Planner) engine() *engine.Engine {
+	if pl.Engine != nil {
+		return pl.Engine
 	}
-	assign, err := parallel.New(topo.NumDevices(), topo.GPUsPerNode, deg)
-	if err != nil {
-		return nil, nil, err
-	}
-	world, err := comm.BuildWorld(topo, assign, sel)
-	if err != nil {
-		return nil, nil, err
-	}
-	planCache.Lock()
-	if len(planCache.m) >= planCacheMax {
-		clear(planCache.m)
-	}
-	planCache.m[key] = planEntry{assign: assign, world: world}
-	planCache.Unlock()
-	return assign, world, nil
+	return engine.Default()
 }
 
 // Plan builds the plan for fixed tensor and pipeline degrees, simulating
 // one iteration to fill in the performance report. The communicators are
-// built (or fetched from the plan cache) once and handed to the
+// built (or fetched from the engine's LRU cache) once and handed to the
 // simulation, which previously rebuilt the identical structures itself.
 func (pl *Planner) Plan(t, p int) (*Plan, error) {
+	eng := pl.engine()
 	n := pl.Topo.NumDevices()
 	deg, err := parallel.TileDegrees(n, t, p)
 	if err != nil {
@@ -129,7 +98,7 @@ func (pl *Planner) Plan(t, p int) (*Plan, error) {
 	if pl.Opt != nil {
 		opt = *pl.Opt
 	}
-	assign, world, err := cachedWorld(pl.Topo, deg, opt.NICSelection)
+	assign, world, err := eng.World(pl.Topo, deg, opt.NICSelection)
 	if err != nil {
 		return nil, err
 	}
@@ -137,7 +106,7 @@ func (pl *Planner) Plan(t, p int) (*Plan, error) {
 		Topo: pl.Topo, Spec: pl.Spec,
 		TensorSize: t, PipelineSize: p,
 		Framework: pl.Framework, Opt: pl.Opt,
-		World: world,
+		World: world, Engine: eng,
 	})
 	if err != nil {
 		return nil, err
@@ -151,33 +120,70 @@ func (pl *Planner) Plan(t, p int) (*Plan, error) {
 	}, nil
 }
 
-// SearchPipeline tries every feasible pipeline degree (divisors of the
-// node count whose micro-batching works out) at the given tensor degree
-// and returns the plan with the highest simulated throughput. Candidates
-// simulate concurrently on a bounded worker pool; the winner (and the
-// error reported when nothing is feasible) is selected in candidate
-// order, so the result is identical to the sequential search.
-func (pl *Planner) SearchPipeline(t int) (*Plan, error) {
+// feasibleTensorDegrees lists every tensor degree the topology admits:
+// divisors of the per-node GPU count (tensor groups must stay inside a
+// node, §2.4), ascending.
+func (pl *Planner) feasibleTensorDegrees() []int {
+	g := pl.Topo.GPUsPerNode
+	var ts []int
+	for t := 1; t <= g; t++ {
+		if g%t == 0 {
+			ts = append(ts, t)
+		}
+	}
+	return ts
+}
+
+// searchSpace applies the shared feasibility pruning once for a set of
+// tensor degrees: for every (t, p) with p up to the node count, the
+// degrees must tile the device count, the model must have at least p
+// layers, and the global batch must micro-batch evenly at the implied
+// data-parallel degree. Candidates come back in deterministic input
+// order: t ascending, then p ascending.
+func (pl *Planner) searchSpace(ts []int) []parallel.Degrees {
 	n := pl.Topo.NumDevices()
 	nodes := pl.Topo.NumNodes()
-	var cands []int
-	for p := 1; p <= nodes; p++ {
-		if n%(t*p) != 0 || pl.Spec.Layers < p {
+	g := pl.Topo.GPUsPerNode
+	var cells []parallel.Degrees
+	for _, t := range ts {
+		if t < 1 || t > g || g%t != 0 {
 			continue
 		}
-		if _, err := pl.Spec.MicroBatches(n / (t * p)); err != nil {
-			continue
+		for p := 1; p <= nodes; p++ {
+			if n%(t*p) != 0 || pl.Spec.Layers < p {
+				continue
+			}
+			if _, err := pl.Spec.MicroBatches(n / (t * p)); err != nil {
+				continue
+			}
+			cells = append(cells, parallel.Degrees{T: t, P: p, D: n / (t * p)})
 		}
-		cands = append(cands, p)
 	}
-	plans := make([]*Plan, len(cands))
-	errs := make([]error, len(cands))
-	pool.Run(len(cands), runtime.NumCPU(), func(i int) {
-		plans[i], errs[i] = pl.Plan(t, cands[i])
+	return cells
+}
+
+// SearchSpace returns the full joint (t, p) candidate set SearchPlan will
+// explore, in its deterministic evaluation order. Exposed so callers (the
+// serve API, tests) can report or bound the search without running it.
+func (pl *Planner) SearchSpace() []parallel.Degrees {
+	return pl.searchSpace(pl.feasibleTensorDegrees())
+}
+
+// searchBest simulates every candidate concurrently on the engine's
+// bounded worker pool and selects the winner — highest simulated
+// throughput, ties broken by input order — by scanning results in input
+// order, so the outcome is identical to a sequential search no matter how
+// the pool schedules. The error reported when nothing succeeds is the
+// first by input order.
+func (pl *Planner) searchBest(cells []parallel.Degrees) (*Plan, error) {
+	plans := make([]*Plan, len(cells))
+	errs := make([]error, len(cells))
+	pl.engine().Go(len(cells), func(i int) {
+		plans[i], errs[i] = pl.Plan(cells[i].T, cells[i].P)
 	})
 	var best *Plan
 	var firstErr error
-	for i := range cands {
+	for i := range cells {
 		if errs[i] != nil {
 			if firstErr == nil {
 				firstErr = errs[i]
@@ -192,20 +198,49 @@ func (pl *Planner) SearchPipeline(t int) (*Plan, error) {
 		if firstErr != nil {
 			return nil, firstErr
 		}
-		return nil, fmt.Errorf("core: no feasible pipeline degree for %d devices", n)
+		return nil, fmt.Errorf("core: no feasible plan for %d devices", pl.Topo.NumDevices())
 	}
 	return best, nil
 }
 
+// SearchPipeline tries every feasible pipeline degree at the given tensor
+// degree and returns the plan with the highest simulated throughput —
+// the historical single-axis search, now a restriction of SearchPlan's
+// joint space to one tensor degree.
+func (pl *Planner) SearchPipeline(t int) (*Plan, error) {
+	cells := pl.searchSpace([]int{t})
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("core: no feasible pipeline degree for %d devices", pl.Topo.NumDevices())
+	}
+	return pl.searchBest(cells)
+}
+
+// SearchPlan searches tensor and pipeline degrees jointly: every feasible
+// (t, p) cell — t over the divisors of the per-node GPU count, p over the
+// node count — shares one feasibility pruning pass, reuses communicator
+// worlds through the engine cache, and simulates concurrently on the
+// engine pool. The winner is selected in deterministic input order
+// (t ascending, then p ascending; strict throughput improvement to move),
+// so concurrent and sequential searches return the same plan.
+func (pl *Planner) SearchPlan() (*Plan, error) {
+	cells := pl.SearchSpace()
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("core: no feasible (t, p) for %d devices", pl.Topo.NumDevices())
+	}
+	return pl.searchBest(cells)
+}
+
 // CommunicationCost estimates the per-iteration communication volume each
 // group kind moves, in bytes — the objective of §2.3 ("minimize the
-// communication costs").
-func (pl *Planner) CommunicationCost(plan *Plan) map[comm.Kind]float64 {
+// communication costs"). It errors when the plan's data-parallel degree
+// cannot micro-batch the global batch: silently assuming m=1 (the old
+// behaviour) skewed the DP/PP estimates by the full micro-batch count.
+func (pl *Planner) CommunicationCost(plan *Plan) (map[comm.Kind]float64, error) {
 	spec := pl.Spec
 	d := plan.Degrees.D
 	m, err := spec.MicroBatches(d)
 	if err != nil {
-		m = 1
+		return nil, fmt.Errorf("core: communication cost undefined: %w", err)
 	}
 	out := make(map[comm.Kind]float64)
 	// DP: ring all-reduce-equivalent traffic of the gradients per group.
@@ -224,7 +259,7 @@ func (pl *Planner) CommunicationCost(plan *Plan) map[comm.Kind]float64 {
 		out[comm.TP] = spec.ActivationMessageBytes() * float64(m) * float64(spec.Layers) *
 			2 * float64(plan.Degrees.T-1) / float64(plan.Degrees.T) * float64(len(plan.World.TPGroups))
 	}
-	return out
+	return out, nil
 }
 
 // Describe renders the plan for operators: topology, degrees, per-group

@@ -66,7 +66,10 @@ func TestCommunicationCostDPDominates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	costs := pl.CommunicationCost(plan)
+	costs, err := pl.CommunicationCost(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if costs[comm.DP] <= 0 || costs[comm.PP] <= 0 {
 		t.Fatalf("degenerate costs: %v", costs)
 	}

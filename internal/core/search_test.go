@@ -1,0 +1,140 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"holmes/internal/engine"
+	"holmes/internal/model"
+	"holmes/internal/parallel"
+	"holmes/internal/topology"
+)
+
+// The joint search space must contain every (t, p) cell the old per-t
+// SearchPipeline would have visited, for every feasible tensor degree —
+// SearchPlan is a widening, never a narrowing.
+func TestSearchSpaceCoversPerTensorSearches(t *testing.T) {
+	pl := planner(t, topology.HybridEnv(8), 3)
+	joint := map[parallel.Degrees]bool{}
+	for _, c := range pl.SearchSpace() {
+		joint[c] = true
+	}
+	perT := 0
+	for _, tp := range pl.feasibleTensorDegrees() {
+		for _, c := range pl.searchSpace([]int{tp}) {
+			perT++
+			if !joint[c] {
+				t.Fatalf("cell %+v reachable via SearchPipeline(%d) but absent from SearchPlan space", c, tp)
+			}
+		}
+	}
+	if len(joint) < perT {
+		t.Fatalf("joint space %d cells < union of per-t spaces %d", len(joint), perT)
+	}
+	if perT == 0 {
+		t.Fatal("degenerate search space")
+	}
+}
+
+// On the paper's hybrid 8-node GPT-7.5B scenario the joint search must
+// agree with the historical per-t search at t=1 (the paper fixes t=1):
+// the tensor-parallel collective cost keeps t>1 candidates honest.
+func TestSearchPlanMatchesPipelineWinnerHybrid8GPT75(t *testing.T) {
+	pl := planner(t, topology.HybridEnv(8), 3)
+	joint, err := pl.SearchPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perT, err := pl.SearchPipeline(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joint.Degrees != perT.Degrees {
+		t.Fatalf("joint winner %+v != SearchPipeline(1) winner %+v", joint.Degrees, perT.Degrees)
+	}
+	if !reflect.DeepEqual(joint.Report, perT.Report) {
+		t.Fatalf("winner reports differ:\njoint %+v\nperT  %+v", joint.Report, perT.Report)
+	}
+}
+
+// The search winner must not depend on pool scheduling: a sequential
+// engine and a wide concurrent engine return bit-identical winners across
+// repeated trials.
+func TestSearchPlanDeterministicUnderConcurrency(t *testing.T) {
+	topo := topology.HybridEnv(4)
+	spec := model.Group(1).Spec
+
+	seqEng := engine.New(engine.Config{Concurrency: 1})
+	seqPl, err := NewPlannerOn(seqEng, topo, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := seqPl.SearchPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for trial := 0; trial < 3; trial++ {
+		eng := engine.New(engine.Config{Concurrency: 16})
+		pl, err := NewPlannerOn(eng, topo, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pl.SearchPlan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Degrees != ref.Degrees || !reflect.DeepEqual(got.Report, ref.Report) {
+			t.Fatalf("trial %d: concurrent winner %+v (%+v) != sequential %+v (%+v)",
+				trial, got.Degrees, got.Report, ref.Degrees, ref.Report)
+		}
+	}
+}
+
+// The search reuses cached worlds across cells: after one SearchPlan on a
+// fresh engine, a second identical search must be all cache hits.
+func TestSearchPlanReusesWorldCache(t *testing.T) {
+	eng := engine.New(engine.Config{})
+	pl, err := NewPlannerOn(eng, topology.HybridEnv(4), model.Group(1).Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.SearchPlan(); err != nil {
+		t.Fatal(err)
+	}
+	st1 := eng.CacheStats()
+	if _, err := pl.SearchPlan(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := eng.CacheStats()
+	if st2.Misses != st1.Misses {
+		t.Fatalf("second search rebuilt worlds: %+v -> %+v", st1, st2)
+	}
+	if st2.Hits <= st1.Hits {
+		t.Fatalf("second search did not hit the cache: %+v -> %+v", st1, st2)
+	}
+}
+
+// CommunicationCost must refuse a plan whose data-parallel degree cannot
+// micro-batch the planner's global batch instead of silently assuming
+// m=1.
+func TestCommunicationCostRejectsBadMicroBatch(t *testing.T) {
+	topo := topology.HybridEnv(4)
+	pl := planner(t, topo, 1)
+	plan, err := pl.Plan(1, 2) // d = 16, fine for PG1 (B=768, b=4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.CommunicationCost(plan); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	spec := model.Group(1).Spec
+	spec.GlobalBatch = 20 // 20 % 16 != 0: micro-batching is undefined
+	bad, err := NewPlanner(topo, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bad.CommunicationCost(plan); err == nil {
+		t.Fatal("undefined micro-batching must surface as an error, not m=1")
+	}
+}

@@ -1,0 +1,242 @@
+// Package engine owns the process-wide resources the Holmes stack used to
+// keep in package-level mutable state: the communicator (assignment +
+// world) cache, the bounded worker pool, and the netsim execution knobs.
+//
+// An Engine is immutable after construction — its configuration cannot
+// change, and its cache is internally synchronized — so any number of
+// goroutines (concurrent planner searches, experiment grids, HTTP request
+// handlers) can share one Engine, and independent tenants can hold
+// independent Engines with different settings without interfering. That
+// property is what makes the library safe to put behind a server
+// (cmd/holmes-serve): previously two callers flipping
+// experiments.FullRecompute or experiments.Concurrency raced each other
+// through package globals.
+package engine
+
+import (
+	"runtime"
+	"sync"
+
+	"holmes/internal/comm"
+	"holmes/internal/parallel"
+	"holmes/internal/pool"
+	"holmes/internal/topology"
+)
+
+// Config fixes an Engine's behaviour at construction time.
+type Config struct {
+	// Concurrency bounds the worker pool used for fan-out (experiment
+	// cells, plan-search candidates). 0 means runtime.NumCPU().
+	Concurrency int
+	// CacheSize bounds the communicator cache (entries). 0 means
+	// DefaultCacheSize; negative disables caching.
+	CacheSize int
+	// FullRecompute makes every simulation run on the netsim
+	// full-recompute oracle instead of the incremental rebalancer — the
+	// reference arm of the equivalence tests and of
+	// `holmes-bench -mode=baseline`.
+	FullRecompute bool
+}
+
+// DefaultCacheSize bounds the communicator cache when Config.CacheSize is
+// zero. The working set of any realistic search is far smaller; the bound
+// exists so a long-lived server cannot grow without limit.
+const DefaultCacheSize = 512
+
+// Engine carries the shared, concurrency-safe execution resources.
+type Engine struct {
+	concurrency   int
+	fullRecompute bool
+	cache         worldCache
+}
+
+// New constructs an Engine, normalizing zero config fields to defaults.
+func New(cfg Config) *Engine {
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = runtime.NumCPU()
+	}
+	size := cfg.CacheSize
+	if size == 0 {
+		size = DefaultCacheSize
+	}
+	if size < 0 {
+		size = 0 // caching disabled
+	}
+	e := &Engine{
+		concurrency:   cfg.Concurrency,
+		fullRecompute: cfg.FullRecompute,
+	}
+	e.cache.init(size)
+	return e
+}
+
+// defaultEngine backs the deprecated package-level entry points
+// (core.NewPlanner with a nil engine, experiments.Run, holmes.Plan, ...).
+// It is constructed once and never mutated, so sharing it is safe.
+var defaultEngine = sync.OnceValue(func() *Engine { return New(Config{}) })
+
+// Default returns the shared process-wide Engine with default settings.
+func Default() *Engine { return defaultEngine() }
+
+// Concurrency reports the worker-pool bound.
+func (e *Engine) Concurrency() int { return e.concurrency }
+
+// FullRecompute reports whether simulations must use the netsim
+// full-recompute oracle.
+func (e *Engine) FullRecompute() bool { return e.fullRecompute }
+
+// Go executes fn(i) for every i in [0, n) on the engine's bounded worker
+// pool and returns when all calls finish. Panics in fn propagate to the
+// caller (see pool.Run).
+func (e *Engine) Go(n int, fn func(i int)) { pool.Run(n, e.concurrency, fn) }
+
+// worldKey identifies a cached assignment+world: the structural topology
+// fingerprint, the fixed degrees, and the NIC-selection policy (the only
+// inputs communicator construction depends on).
+type worldKey struct {
+	fp   string
+	t, p int
+	sel  comm.Selection
+}
+
+// worldEntry is one cache node; entries form a doubly-linked recency list
+// with head = most recently used.
+type worldEntry struct {
+	key        worldKey
+	assign     *parallel.Assignment
+	world      *comm.World
+	prev, next *worldEntry
+}
+
+// worldCache is a bounded LRU over communicator worlds. Cached values are
+// immutable after insertion (assignments and worlds are read-only during
+// simulation), so handing the same pointers to concurrent simulations is
+// safe. Eviction is strictly least-recently-used — a long search that
+// keeps touching a hot working set never loses it, unlike the previous
+// overflow behaviour that cleared the whole map.
+type worldCache struct {
+	mu         sync.Mutex
+	cap        int
+	m          map[worldKey]*worldEntry
+	head, tail *worldEntry
+
+	hits, misses, evictions uint64
+}
+
+func (c *worldCache) init(capacity int) {
+	c.cap = capacity
+	c.m = make(map[worldKey]*worldEntry, capacity)
+}
+
+// get returns the entry for key, promoting it to most-recently-used.
+func (c *worldCache) get(key worldKey) (*parallel.Assignment, *comm.World, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if !ok {
+		c.misses++
+		return nil, nil, false
+	}
+	c.hits++
+	c.promote(e)
+	return e.assign, e.world, true
+}
+
+// put inserts (or refreshes) key, evicting the least-recently-used entry
+// when the cache is full.
+func (c *worldCache) put(key worldKey, assign *parallel.Assignment, world *comm.World) {
+	if c.cap == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[key]; ok {
+		// A concurrent miss built the same world twice; keep the first,
+		// the values are equivalent.
+		c.promote(e)
+		return
+	}
+	if len(c.m) >= c.cap {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.m, lru.key)
+		c.evictions++
+	}
+	e := &worldEntry{key: key, assign: assign, world: world}
+	c.m[key] = e
+	c.pushFront(e)
+}
+
+func (c *worldCache) promote(e *worldEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+func (c *worldCache) pushFront(e *worldEntry) {
+	e.prev, e.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *worldCache) unlink(e *worldEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// World returns the parallel assignment and communicator world for the
+// degrees and NIC-selection policy on the topology, built on first use and
+// served from the engine's LRU cache afterwards. The returned structures
+// are shared and must be treated as read-only.
+func (e *Engine) World(topo *topology.Topology, deg parallel.Degrees, sel comm.Selection) (*parallel.Assignment, *comm.World, error) {
+	key := worldKey{fp: topo.Fingerprint(), t: deg.T, p: deg.P, sel: sel}
+	if assign, world, ok := e.cache.get(key); ok {
+		return assign, world, nil
+	}
+	assign, err := parallel.New(topo.NumDevices(), topo.GPUsPerNode, deg)
+	if err != nil {
+		return nil, nil, err
+	}
+	world, err := comm.BuildWorld(topo, assign, sel)
+	if err != nil {
+		return nil, nil, err
+	}
+	e.cache.put(key, assign, world)
+	return assign, world, nil
+}
+
+// CacheStats is a point-in-time snapshot of the communicator cache.
+type CacheStats struct {
+	Size      int    `json:"size"`
+	Cap       int    `json:"cap"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// CacheStats reports cache occupancy and hit/miss/eviction counters
+// (observability for /healthz and the cache tests).
+func (e *Engine) CacheStats() CacheStats {
+	e.cache.mu.Lock()
+	defer e.cache.mu.Unlock()
+	return CacheStats{
+		Size: len(e.cache.m), Cap: e.cache.cap,
+		Hits: e.cache.hits, Misses: e.cache.misses, Evictions: e.cache.evictions,
+	}
+}

@@ -1,0 +1,188 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"holmes/internal/comm"
+	"holmes/internal/parallel"
+	"holmes/internal/topology"
+)
+
+func deg(t *testing.T, n, tp, pp int) parallel.Degrees {
+	t.Helper()
+	d, err := parallel.TileDegrees(n, tp, pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestWorldCacheHitReturnsSamePointers(t *testing.T) {
+	e := New(Config{})
+	topo := topology.IBEnv(2)
+	d := deg(t, topo.NumDevices(), 1, 2)
+	a1, w1, err := e.World(topo, d, comm.AutoSelection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, w2, err := e.World(topo, d, comm.AutoSelection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 || w1 != w2 {
+		t.Fatal("second lookup rebuilt the world instead of hitting the cache")
+	}
+	st := e.CacheStats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Fatalf("stats after 1 miss + 1 hit: %+v", st)
+	}
+}
+
+// Selection policy is part of the key: a unified world must not be served
+// where an auto-selected one was requested.
+func TestWorldCacheKeyIncludesSelection(t *testing.T) {
+	e := New(Config{})
+	topo := topology.HybridEnv(4)
+	d := deg(t, topo.NumDevices(), 1, 2)
+	_, auto, err := e.World(topo, d, comm.AutoSelection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, uni, err := e.World(topo, d, comm.UnifiedSelection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto == uni {
+		t.Fatal("one world served for two NIC-selection policies")
+	}
+}
+
+// LRU eviction must drop the least-recently-used entry and keep hot ones —
+// the exact property the old overflow-clear() violated (satellite: a long
+// search thrashed its whole working set at entry 513).
+func TestLRUEvictionKeepsHotEntries(t *testing.T) {
+	e := New(Config{CacheSize: 2})
+	topoA := topology.IBEnv(1)
+	topoB := topology.IBEnv(2)
+	topoC := topology.IBEnv(4)
+	dA := deg(t, topoA.NumDevices(), 1, 1)
+	dB := deg(t, topoB.NumDevices(), 1, 1)
+	dC := deg(t, topoC.NumDevices(), 1, 1)
+
+	if _, _, err := e.World(topoA, dA, comm.AutoSelection); err != nil { // A
+		t.Fatal(err)
+	}
+	if _, _, err := e.World(topoB, dB, comm.AutoSelection); err != nil { // A B
+		t.Fatal(err)
+	}
+	if _, _, err := e.World(topoA, dA, comm.AutoSelection); err != nil { // touch A: B is now LRU
+		t.Fatal(err)
+	}
+	if _, _, err := e.World(topoC, dC, comm.AutoSelection); err != nil { // evicts B, keeps hot A
+		t.Fatal(err)
+	}
+
+	before := e.CacheStats()
+	if before.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", before.Evictions)
+	}
+	if _, _, err := e.World(topoA, dA, comm.AutoSelection); err != nil { // must still be cached
+		t.Fatal(err)
+	}
+	after := e.CacheStats()
+	if after.Hits != before.Hits+1 {
+		t.Fatalf("hot entry A was evicted: stats before %+v after %+v", before, after)
+	}
+	if _, _, err := e.World(topoB, dB, comm.AutoSelection); err != nil { // B was the victim
+		t.Fatal(err)
+	}
+	final := e.CacheStats()
+	if final.Misses != after.Misses+1 {
+		t.Fatalf("cold entry B still cached: stats %+v", final)
+	}
+}
+
+// CacheSize < 0 disables caching entirely; every lookup rebuilds.
+func TestNegativeCacheSizeDisablesCache(t *testing.T) {
+	e := New(Config{CacheSize: -1})
+	topo := topology.IBEnv(2)
+	d := deg(t, topo.NumDevices(), 1, 2)
+	a1, _, err := e.World(topo, d, comm.AutoSelection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _, err := e.World(topo, d, comm.AutoSelection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 == a2 {
+		t.Fatal("disabled cache served a cached world")
+	}
+	if st := e.CacheStats(); st.Size != 0 {
+		t.Fatalf("disabled cache holds entries: %+v", st)
+	}
+}
+
+// Concurrent mixed lookups across two engines must be race-free (run
+// under -race) and never cross-contaminate: each engine keeps its own
+// cache, and within one engine concurrent callers for one key settle on a
+// single entry.
+func TestConcurrentWorldLookups(t *testing.T) {
+	e1 := New(Config{CacheSize: 4})
+	e2 := New(Config{CacheSize: 4, FullRecompute: true, Concurrency: 2})
+	topo := topology.HybridEnv(4)
+	d2 := deg(t, topo.NumDevices(), 1, 2)
+	d4 := deg(t, topo.NumDevices(), 1, 4)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := e1
+			if i%2 == 0 {
+				e = e2
+			}
+			d := d2
+			if i%4 < 2 {
+				d = d4
+			}
+			if _, _, err := e.World(topo, d, comm.AutoSelection); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if st := e1.CacheStats(); st.Size != 2 {
+		t.Fatalf("e1 cache size %d, want 2 (one per degree set): %+v", st.Size, st)
+	}
+	if st := e2.CacheStats(); st.Size != 2 {
+		t.Fatalf("e2 cache size %d, want 2: %+v", st.Size, st)
+	}
+}
+
+func TestDefaultsAndKnobs(t *testing.T) {
+	e := New(Config{})
+	if e.Concurrency() < 1 {
+		t.Fatalf("default concurrency %d", e.Concurrency())
+	}
+	if e.FullRecompute() {
+		t.Fatal("default engine must use the incremental rebalancer")
+	}
+	if Default() != Default() {
+		t.Fatal("Default() must return one shared engine")
+	}
+	o := New(Config{Concurrency: 3, FullRecompute: true})
+	if o.Concurrency() != 3 || !o.FullRecompute() {
+		t.Fatal("config not honoured")
+	}
+	// Go dispatches every index.
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	o.Go(10, func(i int) { mu.Lock(); seen[i] = true; mu.Unlock() })
+	if len(seen) != 10 {
+		t.Fatalf("Go covered %d/10 indices", len(seen))
+	}
+}

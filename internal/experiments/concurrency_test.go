@@ -2,15 +2,14 @@ package experiments
 
 import (
 	"reflect"
+	"sync"
 	"testing"
+
+	"holmes/internal/engine"
 )
 
-// setRunMode flips the package knobs for one test and restores them.
-func setRunMode(t *testing.T, workers int, oracle bool) {
-	t.Helper()
-	prevC, prevF := Concurrency, FullRecompute
-	Concurrency, FullRecompute = workers, oracle
-	t.Cleanup(func() { Concurrency, FullRecompute = prevC, prevF })
+func suite(workers int, oracle bool) Suite {
+	return NewSuite(engine.New(engine.Config{Concurrency: workers, FullRecompute: oracle}))
 }
 
 // The concurrent runner must produce rows in the same order with the same
@@ -18,14 +17,12 @@ func setRunMode(t *testing.T, workers int, oracle bool) {
 // pool only changes which goroutine executes them.
 func TestRowsDeterministicUnderConcurrency(t *testing.T) {
 	for _, id := range []string{"table1", "fig5", "fig6"} {
-		setRunMode(t, 1, false)
-		seq, err := Run(id)
+		seq, err := suite(1, false).Run(id)
 		if err != nil {
 			t.Fatal(err)
 		}
-		setRunMode(t, 8, false)
 		for trial := 0; trial < 3; trial++ {
-			conc, err := Run(id)
+			conc, err := suite(8, false).Run(id)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -49,13 +46,11 @@ func TestOracleEquivalence(t *testing.T) {
 		grids = grids[:1]
 	}
 	for _, id := range grids {
-		setRunMode(t, 8, false)
-		fast, err := Run(id)
+		fast, err := suite(8, false).Run(id)
 		if err != nil {
 			t.Fatal(err)
 		}
-		setRunMode(t, 1, true)
-		oracle, err := Run(id)
+		oracle, err := suite(1, true).Run(id)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -72,17 +67,90 @@ func TestOracleEquivalence(t *testing.T) {
 	}
 }
 
+// Two engines with different FullRecompute / concurrency settings must be
+// able to run the same grid CONCURRENTLY and each produce rows
+// bit-identical to its own sequential reference — the proof that no
+// package-level mutable state couples independent tenants (before the
+// engine refactor, one caller flipping experiments.FullRecompute mid-run
+// corrupted the other's arm). Run under -race in CI.
+func TestIndependentEnginesRunConcurrently(t *testing.T) {
+	id := "table3"
+	if testing.Short() {
+		id = "table1"
+	}
+	// Sequential references for both arms. Oracle equivalence (above)
+	// makes them bit-identical to each other too, but each arm is checked
+	// against its own reference to keep this test's claim self-contained.
+	refFast, err := suite(1, false).Run(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refOracle, err := suite(1, true).Run(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	arms := []struct {
+		name string
+		s    Suite
+		ref  []Row
+	}{
+		{"fast/8workers", suite(8, false), refFast},
+		{"oracle/2workers", suite(2, true), refOracle},
+	}
+	var wg sync.WaitGroup
+	results := make([][]Row, len(arms))
+	errs := make([]error, len(arms))
+	for i, arm := range arms {
+		i, arm := i, arm
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = arm.s.Run(id)
+		}()
+	}
+	wg.Wait()
+	for i, arm := range arms {
+		if errs[i] != nil {
+			t.Fatalf("%s: %v", arm.name, errs[i])
+		}
+		if !reflect.DeepEqual(results[i], arm.ref) {
+			t.Fatalf("%s: concurrent rows differ from its sequential reference", arm.name)
+		}
+	}
+}
+
 // Exercise the worker pool with more workers than cells and again with
 // fewer; combined with -race in CI this is the pool's race test.
 func TestWorkerPoolBounds(t *testing.T) {
 	for _, workers := range []int{1, 2, 64} {
-		setRunMode(t, workers, false)
-		rows, err := Table4()
+		rows, err := suite(workers, false).Table4()
 		if err != nil {
 			t.Fatal(err)
 		}
 		if len(rows) != 5 {
 			t.Fatalf("workers=%d: got %d rows, want 5", workers, len(rows))
 		}
+	}
+}
+
+// The deprecated package-level entry points must still work: they are the
+// old API surface and delegate to a per-call engine built from the
+// deprecated knobs.
+func TestDeprecatedShimsDelegate(t *testing.T) {
+	prevC, prevF := Concurrency, FullRecompute
+	t.Cleanup(func() { Concurrency, FullRecompute = prevC, prevF })
+
+	Concurrency, FullRecompute = 2, true
+	viaShim, err := Run("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSuite, err := suite(2, true).Run("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(viaShim, viaSuite) {
+		t.Fatal("shim rows differ from equivalent Suite rows")
 	}
 }

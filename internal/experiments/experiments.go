@@ -10,17 +10,25 @@
 // bench harness can report paper-vs-measured side by side.
 //
 // Cells of a grid are mutually independent simulations, so every
-// experiment fans them out over a bounded worker pool (Concurrency
-// workers) and assembles rows strictly in input order — the output is
-// byte-identical to a sequential run.
+// experiment fans them out over the engine's bounded worker pool and
+// assembles rows strictly in input order — the output is byte-identical
+// to a sequential run.
+//
+// All execution settings (worker count, netsim oracle mode, communicator
+// cache) live on an engine.Engine carried by a Suite: independent suites
+// on independent engines can run concurrently without interfering. The
+// historical package-level entry points (Run, Table1, ... and the
+// Concurrency / FullRecompute knobs) survive as deprecated shims that
+// delegate to a per-call engine.
 package experiments
 
 import (
 	"fmt"
 	"runtime"
+	"sync"
 
+	"holmes/internal/engine"
 	"holmes/internal/model"
-	"holmes/internal/pool"
 	"holmes/internal/topology"
 	"holmes/internal/trainer"
 )
@@ -41,16 +49,71 @@ type Row struct {
 	Partition string
 }
 
-// Concurrency bounds the experiment worker pool. It defaults to the CPU
-// count; set it to 1 to force sequential execution (the reference arm of
-// the determinism tests). Change it only between experiment runs.
+// Suite binds the experiment grids to one engine: the engine's
+// concurrency bounds the cell fan-out, its FullRecompute knob selects the
+// netsim oracle, and its cache serves communicator worlds across cells.
+type Suite struct {
+	eng *engine.Engine
+}
+
+// NewSuite returns a suite on the given engine (nil = the shared default
+// engine).
+func NewSuite(eng *engine.Engine) Suite {
+	if eng == nil {
+		eng = engine.Default()
+	}
+	return Suite{eng: eng}
+}
+
+// Engine exposes the suite's engine (observability: cache stats).
+func (s Suite) Engine() *engine.Engine { return s.eng }
+
+// Concurrency bounds the experiment worker pool of the deprecated
+// package-level entry points.
+//
+// Deprecated: construct a Suite on an engine.Engine with the desired
+// Concurrency instead; this variable is read by the shim entry points
+// only and mutating it races concurrent callers by design of the old API.
 var Concurrency = runtime.NumCPU()
 
-// FullRecompute makes every cell simulate on the netsim full-recompute
-// oracle instead of the incremental rebalancer (see netsim.Params); it is
-// the reference arm of the equivalence tests and of
-// `holmes-bench -mode=baseline`. Change it only between experiment runs.
+// FullRecompute makes the deprecated package-level entry points simulate
+// on the netsim full-recompute oracle.
+//
+// Deprecated: construct a Suite on an engine.Engine with FullRecompute
+// set instead; this variable is read by the shim entry points only.
 var FullRecompute bool
+
+// shimEngine materializes the deprecated package knobs as an engine.
+// The default knob values map to the shared default engine, and
+// non-default knob combinations are memoized, so repeated calls through
+// the deprecated API keep a warm communicator cache (the old global
+// planCache behaviour) instead of rebuilding worlds every call. This
+// little registry is itself package-level mutable state — it exists only
+// to serve the deprecated entry points and dies with them.
+var shimEngines = struct {
+	sync.Mutex
+	m map[shimKey]*engine.Engine
+}{m: make(map[shimKey]*engine.Engine)}
+
+type shimKey struct {
+	concurrency   int
+	fullRecompute bool
+}
+
+func shimEngine() *engine.Engine {
+	if Concurrency == runtime.NumCPU() && !FullRecompute {
+		return engine.Default()
+	}
+	key := shimKey{concurrency: Concurrency, fullRecompute: FullRecompute}
+	shimEngines.Lock()
+	defer shimEngines.Unlock()
+	e, ok := shimEngines.m[key]
+	if !ok {
+		e = engine.New(engine.Config{Concurrency: key.concurrency, FullRecompute: key.fullRecompute})
+		shimEngines.m[key] = e
+	}
+	return e
+}
 
 // PipelineSize returns the pipeline-parallel degree used for a parameter
 // group at a node count: Table 2 pins p=2 for the 3.6B groups and p=3 for
@@ -78,18 +141,14 @@ type cell struct {
 	paperS     float64
 }
 
-// runCell simulates one cell.
-func runCell(c cell) (Row, error) {
-	cfg := trainer.Config{
+// runCell simulates one cell on the suite's engine: the engine decides
+// the netsim arm (incremental vs full-recompute oracle) and serves the
+// communicator world from its cache.
+func (s Suite) runCell(c cell) (Row, error) {
+	rep, err := trainer.Simulate(trainer.Config{
 		Topo: c.topo, Spec: c.spec, TensorSize: c.t, PipelineSize: c.p,
-		Framework: c.fw, Opt: c.opt,
-	}
-	if FullRecompute {
-		calib := trainer.DefaultCalibration()
-		calib.Net.FullRecompute = true
-		cfg.Calib = &calib
-	}
-	rep, err := trainer.Simulate(cfg)
+		Framework: c.fw, Opt: c.opt, Engine: s.eng,
+	})
 	if err != nil {
 		return Row{}, fmt.Errorf("%s/%s: %w", c.exp, c.label, err)
 	}
@@ -105,15 +164,15 @@ func runCell(c cell) (Row, error) {
 	}, nil
 }
 
-// runCells executes the cells on the worker pool. Results land at their
-// input index, so row order never depends on scheduling; the error
-// reported is the first by input order, matching what a sequential run
-// would have surfaced.
-func runCells(cells []cell) ([]Row, error) {
+// runCells executes the cells on the engine's worker pool. Results land
+// at their input index, so row order never depends on scheduling; the
+// error reported is the first by input order, matching what a sequential
+// run would have surfaced.
+func (s Suite) runCells(cells []cell) ([]Row, error) {
 	rows := make([]Row, len(cells))
 	errs := make([]error, len(cells))
-	pool.Run(len(cells), Concurrency, func(i int) {
-		rows[i], errs[i] = runCell(cells[i])
+	s.eng.Go(len(cells), func(i int) {
+		rows[i], errs[i] = s.runCell(cells[i])
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -134,7 +193,7 @@ var table1Paper = map[topology.EnvName][2]float64{
 // Table1 reproduces Table 1: parameter group 1 on 4 nodes across the
 // three homogeneous NIC environments (the paper's Table 1 proper) plus
 // the Hybrid row that Table 3 adds for the same configuration.
-func Table1() ([]Row, error) {
+func (s Suite) Table1() ([]Row, error) {
 	pg := model.Group(1)
 	base := trainer.BaseOptions()
 	var cells []cell
@@ -150,7 +209,7 @@ func Table1() ([]Row, error) {
 			paperT: paper[0], paperS: paper[1],
 		})
 	}
-	return runCells(cells)
+	return s.runCells(cells)
 }
 
 // table3Paper holds the published Table 3 grid indexed by
@@ -187,7 +246,7 @@ var Table3Nodes = []int{4, 6, 8}
 
 // Table3 reproduces the full Table 3 grid: four parameter groups × four
 // NIC environments × {4, 6, 8} nodes.
-func Table3() ([]Row, error) {
+func (s Suite) Table3() ([]Row, error) {
 	base := trainer.BaseOptions()
 	var cells []cell
 	for id := 1; id <= 4; id++ {
@@ -210,13 +269,13 @@ func Table3() ([]Row, error) {
 			}
 		}
 	}
-	return runCells(cells)
+	return s.runCells(cells)
 }
 
 // Figure4 reproduces the grads-reduce-scatter comparison: the wall time of
 // gradient reduce-scatter per parameter group for 4 and 8 nodes in every
 // NIC environment (log-scale milliseconds in the paper).
-func Figure4() ([]Row, error) {
+func (s Suite) Figure4() ([]Row, error) {
 	base := trainer.BaseOptions()
 	var cells []cell
 	for _, nodes := range []int{4, 8} {
@@ -237,14 +296,14 @@ func Figure4() ([]Row, error) {
 			}
 		}
 	}
-	return runCells(cells)
+	return s.runCells(cells)
 }
 
 // Figure5 reproduces the partition-strategy comparison: Holmes
 // (self-adapting, α=1.05) versus uniform partition for every parameter
 // group on the 8-node hybrid environment, with the overlapped optimizer
 // active in both arms.
-func Figure5() ([]Row, error) {
+func (s Suite) Figure5() ([]Row, error) {
 	topo := topology.HybridEnv(8)
 	var cells []cell
 	for id := 1; id <= 4; id++ {
@@ -265,7 +324,7 @@ func Figure5() ([]Row, error) {
 			})
 		}
 	}
-	return runCells(cells)
+	return s.runCells(cells)
 }
 
 // figure6Paper holds Figure 6's published throughputs (PG3, 8 nodes:
@@ -279,7 +338,7 @@ var figure6Paper = map[trainer.Framework]float64{
 
 // Figure6 reproduces the framework comparison: parameter group 3 on the
 // 8-node hybrid environment across the four frameworks.
-func Figure6() ([]Row, error) {
+func (s Suite) Figure6() ([]Row, error) {
 	pg := model.Group(3)
 	topo := topology.HybridEnv(8)
 	p := PipelineSize(3, 8)
@@ -291,7 +350,7 @@ func Figure6() ([]Row, error) {
 			paperS: figure6Paper[fw],
 		})
 	}
-	return runCells(cells)
+	return s.runCells(cells)
 }
 
 // figure7Paper holds Figure 7's published throughputs for Holmes on the
@@ -304,7 +363,7 @@ var Figure7Nodes = []int{4, 8, 12}
 // Figure7 reproduces the scalability study: the 39.1-billion-parameter
 // GPT model on 4, 8, and 12 hybrid nodes, Holmes versus Megatron-LLaMA
 // and Megatron-LM.
-func Figure7() ([]Row, error) {
+func (s Suite) Figure7() ([]Row, error) {
 	spec := model.GPT39B(1536)
 	var cells []cell
 	for _, nodes := range Figure7Nodes {
@@ -321,7 +380,7 @@ func Figure7() ([]Row, error) {
 			cells = append(cells, c)
 		}
 	}
-	return runCells(cells)
+	return s.runCells(cells)
 }
 
 // table4Paper holds the published ablation (PG3, 8-node hybrid).
@@ -335,7 +394,7 @@ var table4Paper = map[string][2]float64{
 
 // Table4 reproduces the component ablation on parameter group 3, 8-node
 // hybrid.
-func Table4() ([]Row, error) {
+func (s Suite) Table4() ([]Row, error) {
 	pg := model.Group(3)
 	topo := topology.HybridEnv(8)
 	p := PipelineSize(3, 8)
@@ -366,14 +425,14 @@ func Table4() ([]Row, error) {
 			paperT: paper[0], paperS: paper[1],
 		})
 	}
-	return runCells(cells)
+	return s.runCells(cells)
 }
 
 // All runs every experiment, keyed by experiment id in paper order.
-func All() (map[string][]Row, error) {
+func (s Suite) All() (map[string][]Row, error) {
 	out := make(map[string][]Row)
 	for _, id := range Names {
-		rows, err := Run(id)
+		rows, err := s.Run(id)
 		if err != nil {
 			return nil, err
 		}
@@ -386,23 +445,74 @@ func All() (map[string][]Row, error) {
 var Names = []string{"table1", "table3", "fig4", "fig5", "fig6", "fig7", "table4"}
 
 // Run dispatches one experiment by id.
-func Run(id string) ([]Row, error) {
+func (s Suite) Run(id string) ([]Row, error) {
 	switch id {
 	case "table1":
-		return Table1()
+		return s.Table1()
 	case "table3":
-		return Table3()
+		return s.Table3()
 	case "fig4":
-		return Figure4()
+		return s.Figure4()
 	case "fig5":
-		return Figure5()
+		return s.Figure5()
 	case "fig6":
-		return Figure6()
+		return s.Figure6()
 	case "fig7":
-		return Figure7()
+		return s.Figure7()
 	case "table4":
-		return Table4()
+		return s.Table4()
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q (want one of %v)", id, Names)
 	}
 }
+
+// --- Deprecated package-level shims -----------------------------------
+//
+// The pre-engine API read the Concurrency / FullRecompute package vars.
+// Each shim materializes those knobs as an engine for the one call and
+// delegates to a Suite; new code should construct a Suite directly.
+
+// Run dispatches one experiment by id.
+//
+// Deprecated: use NewSuite(eng).Run.
+func Run(id string) ([]Row, error) { return NewSuite(shimEngine()).Run(id) }
+
+// All runs every experiment, keyed by experiment id in paper order.
+//
+// Deprecated: use NewSuite(eng).All.
+func All() (map[string][]Row, error) { return NewSuite(shimEngine()).All() }
+
+// Table1 reproduces Table 1.
+//
+// Deprecated: use NewSuite(eng).Table1.
+func Table1() ([]Row, error) { return NewSuite(shimEngine()).Table1() }
+
+// Table3 reproduces the full Table 3 grid.
+//
+// Deprecated: use NewSuite(eng).Table3.
+func Table3() ([]Row, error) { return NewSuite(shimEngine()).Table3() }
+
+// Figure4 reproduces the grads-reduce-scatter comparison.
+//
+// Deprecated: use NewSuite(eng).Figure4.
+func Figure4() ([]Row, error) { return NewSuite(shimEngine()).Figure4() }
+
+// Figure5 reproduces the partition-strategy comparison.
+//
+// Deprecated: use NewSuite(eng).Figure5.
+func Figure5() ([]Row, error) { return NewSuite(shimEngine()).Figure5() }
+
+// Figure6 reproduces the framework comparison.
+//
+// Deprecated: use NewSuite(eng).Figure6.
+func Figure6() ([]Row, error) { return NewSuite(shimEngine()).Figure6() }
+
+// Figure7 reproduces the scalability study.
+//
+// Deprecated: use NewSuite(eng).Figure7.
+func Figure7() ([]Row, error) { return NewSuite(shimEngine()).Figure7() }
+
+// Table4 reproduces the component ablation.
+//
+// Deprecated: use NewSuite(eng).Table4.
+func Table4() ([]Row, error) { return NewSuite(shimEngine()).Table4() }

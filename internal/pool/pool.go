@@ -12,7 +12,14 @@ import (
 // Run executes fn(i) for every i in [0, n) on at most workers
 // goroutines (clamped to [1, n]) and returns when all calls finish.
 // Callers provide determinism by writing results at index i; Run itself
-// guarantees only that every index runs exactly once.
+// guarantees only that every index runs at most once and that, absent a
+// panic, every index runs exactly once.
+//
+// A panic inside fn stops the dispatch of further indices, waits for the
+// in-flight calls to drain, and re-panics the first captured value on the
+// caller's goroutine — a panicking cell must crash the caller, not a
+// detached worker (which would kill the whole process with no recovery
+// point).
 func Run(n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return
@@ -23,26 +30,41 @@ func Run(n, workers int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
-	if workers == 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
+	var panicked atomic.Bool
+	var panicVal any
+	call := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				if panicked.CompareAndSwap(false, true) {
+					panicVal = r
 				}
-				fn(i)
 			}
 		}()
+		fn(i)
 	}
-	wg.Wait()
+	if workers == 1 {
+		for i := 0; i < n && !panicked.Load(); i++ {
+			call(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for !panicked.Load() {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					call(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if panicked.Load() {
+		panic(panicVal)
+	}
 }

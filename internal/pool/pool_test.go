@@ -1,0 +1,108 @@
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Every index must run exactly once, whatever the worker count.
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 100
+		counts := make([]atomic.Int32, n)
+		Run(n, workers, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// The pool must never run more than `workers` calls at once.
+func TestRunRespectsWorkerBound(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		var inFlight, peak atomic.Int32
+		var mu sync.Mutex
+		Run(64, workers, func(int) {
+			cur := inFlight.Add(1)
+			mu.Lock()
+			if cur > peak.Load() {
+				peak.Store(cur)
+			}
+			mu.Unlock()
+			// Let other workers pile in before decrementing so a bound
+			// violation actually has a window to show up.
+			for j := 0; j < 1000; j++ {
+				_ = j
+			}
+			inFlight.Add(-1)
+		})
+		if p := peak.Load(); p > int32(workers) {
+			t.Fatalf("workers=%d: observed %d concurrent calls", workers, p)
+		}
+	}
+}
+
+// Zero and negative item counts are no-ops, as is any worker count with
+// them; more workers than items must clamp, not spin or deadlock.
+func TestRunEdgeCases(t *testing.T) {
+	ran := 0
+	Run(0, 8, func(int) { ran++ })
+	Run(-3, 8, func(int) { ran++ })
+	if ran != 0 {
+		t.Fatalf("fn ran %d times for n<=0", ran)
+	}
+	var n32 atomic.Int32
+	Run(3, 100, func(int) { n32.Add(1) }) // n < workers
+	if n32.Load() != 3 {
+		t.Fatalf("n=3 workers=100: ran %d", n32.Load())
+	}
+	Run(5, 0, func(int) { n32.Add(1) }) // workers < 1 clamps to 1
+	if n32.Load() != 8 {
+		t.Fatalf("workers=0: total ran %d, want 8", n32.Load())
+	}
+}
+
+// A panic in fn must surface on the caller's goroutine with the original
+// value, both on the sequential and the concurrent path.
+func TestRunPropagatesPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic swallowed", workers)
+				}
+				if s, ok := r.(string); !ok || s != "boom" {
+					t.Fatalf("workers=%d: recovered %v, want \"boom\"", workers, r)
+				}
+			}()
+			Run(16, workers, func(i int) {
+				if i == 5 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+// After a panic the pool stops dispatching new indices (best effort): the
+// total number of executed calls stays well short of n when the first
+// index panics on the sequential path.
+func TestRunPanicStopsDispatchSequential(t *testing.T) {
+	ran := 0
+	func() {
+		defer func() { _ = recover() }()
+		Run(100, 1, func(i int) {
+			ran++
+			if i == 0 {
+				panic("early")
+			}
+		})
+	}()
+	if ran != 1 {
+		t.Fatalf("sequential run continued after panic: %d calls", ran)
+	}
+}

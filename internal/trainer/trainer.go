@@ -17,6 +17,7 @@ import (
 
 	"holmes/internal/collective"
 	"holmes/internal/comm"
+	"holmes/internal/engine"
 	"holmes/internal/model"
 	"holmes/internal/netsim"
 	"holmes/internal/parallel"
@@ -44,6 +45,12 @@ type Config struct {
 	// topology's device count, the degrees, and the options' NIC
 	// selection; Simulate rejects mismatches rather than guessing.
 	World *comm.World
+	// Engine supplies the shared execution resources: when World is nil
+	// the communicators come from (and land in) the engine's LRU cache,
+	// and the engine's FullRecompute knob selects the netsim oracle
+	// unless an explicit Calib overrides it. Nil means build communicators
+	// ad hoc and use the incremental rebalancer.
+	Engine *engine.Engine
 }
 
 // Report is the outcome of one simulated iteration.
@@ -96,6 +103,8 @@ func Simulate(cfg Config) (Report, error) {
 	calib := DefaultCalibration()
 	if cfg.Calib != nil {
 		calib = *cfg.Calib
+	} else if cfg.Engine != nil && cfg.Engine.FullRecompute() {
+		calib.Net.FullRecompute = true
 	}
 
 	n := cfg.Topo.NumDevices()
@@ -113,6 +122,11 @@ func Simulate(cfg Config) (Report, error) {
 		}
 		if world.Topo != cfg.Topo && world.Topo.Fingerprint() != cfg.Topo.Fingerprint() {
 			return Report{}, fmt.Errorf("trainer: prebuilt world was built on a different topology")
+		}
+	} else if cfg.Engine != nil {
+		assign, world, err = cfg.Engine.World(cfg.Topo, deg, opt.NICSelection)
+		if err != nil {
+			return Report{}, err
 		}
 	} else {
 		assign, err = parallel.New(n, cfg.Topo.GPUsPerNode, deg)
@@ -151,8 +165,17 @@ func Simulate(cfg Config) (Report, error) {
 		if s == p-1 {
 			work += vocabWork
 		}
-		tf[s] = work / 3 / effFLOPS
-		tb[s] = 2 * work / 3 / effFLOPS
+		// Tensor-parallel collectives: Megatron's f/g operators all-reduce
+		// the layer activations twice per layer in forward and twice in
+		// backward across the tensor group. Tensor groups live inside one
+		// node (§2.4), so the cost is analytic ring time on the intra-node
+		// interconnect — NVLink does not contend with the NIC fabric — but
+		// it is not free, which is what keeps the joint (t, p) search
+		// honest: t > 1 splits compute at the price of 4 all-reduces per
+		// layer per micro-batch. Zero when t = 1 (every paper cell).
+		tpRing := tpRingSeconds(cfg, calib, assign, s)
+		tf[s] = work/3/effFLOPS + 2*float64(part.Layers[s])*tpRing
+		tb[s] = 2*work/3/effFLOPS + 2*float64(part.Layers[s])*tpRing
 		if opt.OverlappedOptimizer {
 			// Comm–compute interference: the NCCL kernels of overlapped
 			// reduce-scatter occupy SMs and HBM bandwidth while the
@@ -276,12 +299,32 @@ func makePartition(cfg Config, opt Options, calib Calibration, assign *parallel.
 	const dpCriticalShare = 0.5
 	stages := make([]partition.Stage, p)
 	for s := 0; s < p; s++ {
+		// Per-layer tensor-parallel time across all micro-batches (4 ring
+		// all-reduces per layer per micro-batch); zero at t = 1.
+		tpPerLayer := 4 * float64(m) * tpRingSeconds(cfg, calib, assign, s)
 		stages[s] = partition.Stage{
-			Speed:     1 / (computePerLayer + dpCriticalShare*(exposed+interf)*dpPerLayer[s]),
+			Speed:     1 / (computePerLayer + tpPerLayer + dpCriticalShare*(exposed+interf)*dpPerLayer[s]),
 			MaxLayers: maxLayersForMemory(cfg, assign, s),
 		}
 	}
 	return partition.SelfAdapting(cfg.Spec.Layers, stages, opt.Alpha)
+}
+
+// tpRingSeconds returns the wall time of one tensor-parallel ring
+// all-reduce of a micro-batch's activation tensor on the stage's
+// intra-node interconnect; zero when t = 1.
+func tpRingSeconds(cfg Config, calib Calibration, assign *parallel.Assignment, stage int) float64 {
+	t := assign.T
+	if t <= 1 {
+		return 0
+	}
+	node := cfg.Topo.NodeOf(assign.StageRanks(stage)[0])
+	bps := calib.Net.NVLinkBytesPerSec
+	if node.Intra == topology.PCIe {
+		bps = calib.Net.PCIeBytesPerSec
+	}
+	bytes := cfg.Spec.ActivationMessageBytes()
+	return 2*float64(t-1)/float64(t)*bytes/bps + 2*float64(t-1)*calib.Net.IntraLatency
 }
 
 // stageDPPerLayer estimates, for every pipeline stage, the gradient
