@@ -31,7 +31,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1 | table3 | table4 | fig4 | fig5 | fig6 | fig7 | all")
+		exp     = flag.String("exp", "all", "experiment: table1 | table3 | table4 | fig4 | fig5 | fig6 | fig7 | scenarios | all")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonOut = flag.Bool("json", false, "write a BENCH_<id>.json trajectory file per experiment")
 		outDir  = flag.String("outdir", ".", "directory for -json output files")

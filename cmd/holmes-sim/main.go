@@ -5,6 +5,11 @@
 //
 //	holmes-sim -config experiment.json
 //	holmes-sim -env Hybrid -nodes 8 -group 3 -pipeline 4 -framework Holmes
+//	holmes-sim -env Hybrid -nodes 8 -group 3 -pipeline 4 -scenario faults.json
+//
+// A scenario file scripts cluster events (degraded NICs, failed nodes,
+// background traffic) onto the simulated fabric; see internal/scenario
+// for the JSON schema.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"holmes/internal/config"
 	"holmes/internal/metrics"
 	"holmes/internal/model"
+	"holmes/internal/scenario"
 	"holmes/internal/topology"
 	"holmes/internal/trainer"
 )
@@ -28,6 +34,7 @@ func main() {
 		tensor    = flag.Int("tensor", 1, "tensor parallel degree")
 		pipe      = flag.Int("pipeline", 2, "pipeline parallel degree")
 		framework = flag.String("framework", "Holmes", "Holmes | Megatron-LM | Megatron-DeepSpeed | Megatron-LLaMA")
+		scenPath  = flag.String("scenario", "", "JSON scenario file scripting cluster events onto the fabric")
 	)
 	flag.Parse()
 
@@ -54,6 +61,14 @@ func main() {
 		}
 	}
 
+	if *scenPath != "" {
+		sc, err := scenario.LoadFile(*scenPath)
+		if err != nil {
+			fatal(err)
+		}
+		tc.Scenario = sc
+	}
+
 	rep, err := trainer.Simulate(tc)
 	if err != nil {
 		fatal(err)
@@ -68,6 +83,9 @@ func main() {
 	tb.AddF("TFLOPS/GPU", rep.TFLOPS)
 	tb.AddF("throughput (samples/s)", rep.Throughput)
 	tb.AddF("grads reduce-scatter (ms)", rep.ReduceScatterSeconds*1000)
+	if rep.Scenario != "" {
+		tb.AddF("scenario", fmt.Sprintf("%s (%d event(s) fired)", rep.Scenario, rep.ScenarioEvents))
+	}
 	fmt.Print(tb.String())
 }
 

@@ -1,0 +1,52 @@
+package holmes_test
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// Every examples/* main must build and run to completion: examples are
+// the documented entry points, and nothing else compiles them in CI.
+// Each runs against its own small built-in topology (4–12 nodes), so the
+// whole sweep is a few seconds of simulation.
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test builds and runs child processes")
+	}
+	dirs, err := filepath.Glob("examples/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no examples found")
+	}
+	binDir := t.TempDir()
+	for _, dir := range dirs {
+		dir := dir
+		if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+			continue
+		}
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(binDir, filepath.Base(dir))
+			build := exec.Command("go", "build", "-o", bin, "./"+dir)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build failed: %v\n%s", err, out)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+			defer cancel()
+			run := exec.CommandContext(ctx, bin)
+			out, err := run.CombinedOutput()
+			if err != nil {
+				t.Fatalf("run failed: %v\n%s", err, out)
+			}
+			if len(out) == 0 {
+				t.Fatal("example produced no output")
+			}
+		})
+	}
+}

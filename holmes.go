@@ -25,6 +25,14 @@
 //	go run ./cmd/holmes-serve -addr :8080 &
 //	curl -s localhost:8080/v1/plan -d '{"env":"Hybrid","nodes":8,"model":{"group":3},"tensor_size":1,"pipeline_size":4}'
 //
+// Scenarios script cluster events — degraded NICs, failed nodes,
+// background traffic — onto the simulation clock, and replanning reacts
+// to them on the post-event effective topology:
+//
+//	sc := &holmes.Scenario{Events: []holmes.ScenarioEvent{{Kind: "fail_node", At: 0, Node: 0}}}
+//	rep, err := holmes.SimulateUnder(topo, spec, 1, 4, holmes.FrameworkHolmes, sc)
+//	fix, err := holmes.Replan(topo, spec, sc)  // excludes the failed node
+//
 // The heavy lifting lives in the internal packages (topology, netsim,
 // parallel, partition, pipeline, comm, trainer, core, engine, api); this
 // package re-exports the stable surface.
@@ -32,11 +40,13 @@ package holmes
 
 import (
 	"fmt"
+	"math"
 
 	"holmes/internal/core"
 	"holmes/internal/engine"
 	"holmes/internal/experiments"
 	"holmes/internal/model"
+	"holmes/internal/scenario"
 	"holmes/internal/topology"
 	"holmes/internal/trainer"
 )
@@ -69,6 +79,15 @@ type (
 	Engine = engine.Engine
 	// EngineConfig fixes an Engine's behaviour at construction.
 	EngineConfig = engine.Config
+	// Scenario is a time-scripted timeline of cluster events (degraded
+	// NICs, failed nodes, background traffic, joining nodes) applied to
+	// a simulation's fabric and folded into replanning decisions.
+	Scenario = scenario.Scenario
+	// ScenarioEvent is one scripted occurrence of a Scenario.
+	ScenarioEvent = scenario.Event
+	// ReplanReport compares the pre-fault plan, its performance under a
+	// scenario, and the replanned configuration on the effective topology.
+	ReplanReport = core.Replan
 )
 
 // NIC technologies.
@@ -186,6 +205,36 @@ func Simulate(topo *Topology, spec ModelSpec, t, p int, fw Framework) (Report, e
 	})
 }
 
+// SimulateUnder is Simulate with a scripted scenario bound to the fabric:
+// the report measures the iteration under the timeline's events. A nil or
+// empty scenario is bit-identical to Simulate.
+func SimulateUnder(topo *Topology, spec ModelSpec, t, p int, fw Framework, sc *Scenario) (Report, error) {
+	return trainer.Simulate(trainer.Config{
+		Topo: topo, Spec: spec, TensorSize: t, PipelineSize: p, Framework: fw,
+		Scenario: sc,
+	})
+}
+
+// LoadScenario parses and validates a scenario JSON file.
+func LoadScenario(path string) (*Scenario, error) { return scenario.LoadFile(path) }
+
+// Replan reacts to a scenario: it searches the best plan on the pristine
+// topology, measures that plan under the scenario, and re-runs the joint
+// (t, p) search on the post-event effective topology (failed nodes
+// excluded, degraded NICs at reduced rate, joined nodes added).
+func Replan(topo *Topology, spec ModelSpec, sc *Scenario) (*ReplanReport, error) {
+	return ReplanOn(nil, topo, spec, sc)
+}
+
+// ReplanOn is Replan on an explicit engine (nil = the shared default).
+func ReplanOn(eng *Engine, topo *Topology, spec ModelSpec, sc *Scenario) (*ReplanReport, error) {
+	pl, err := core.NewPlannerOn(eng, topo, spec)
+	if err != nil {
+		return nil, err
+	}
+	return pl.ReplanOn(sc, math.Inf(1))
+}
+
 // RunExperiment regenerates a paper table or figure by id: "table1",
 // "table3", "table4", "fig4", "fig5", "fig6", "fig7".
 func RunExperiment(id string) ([]ExperimentRow, error) {
@@ -205,7 +254,7 @@ func Experiments() []string { return append([]string(nil), experiments.Names...)
 func DefaultOptions(fw Framework) Options { return trainer.DefaultOptions(fw) }
 
 // Version identifies the reproduction release.
-const Version = "1.0.0"
+const Version = "1.1.0"
 
 // Describe renders a short summary of a topology (clusters, NICs, GPUs).
 func Describe(topo *Topology) string {

@@ -75,7 +75,7 @@ func TestRunExperimentDispatch(t *testing.T) {
 	if _, err := RunExperiment("bogus"); err == nil {
 		t.Fatal("bogus experiment accepted")
 	}
-	if len(Experiments()) != 7 {
+	if len(Experiments()) != 8 {
 		t.Fatalf("experiment list = %v", Experiments())
 	}
 }

@@ -10,6 +10,7 @@
 //	GET  /healthz              liveness + engine cache statistics
 //	POST /v1/plan              plan fixed (t, p) degrees
 //	POST /v1/search            joint (t, p) search for the best plan
+//	POST /v1/simulate          one iteration, optionally under a scenario
 //	POST /v1/experiments/{id}  regenerate a paper table/figure
 //
 // Request bodies reuse the config.Config schema of cmd/holmes-sim
@@ -26,10 +27,11 @@ import (
 	"holmes/internal/core"
 	"holmes/internal/engine"
 	"holmes/internal/experiments"
+	"holmes/internal/trainer"
 )
 
 // Version identifies the API release (mirrors the facade version).
-const Version = "1.1.0"
+const Version = "1.2.0"
 
 // Server serves the Holmes planning API on one shared engine.
 type Server struct {
@@ -51,6 +53,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("POST /v1/plan", s.handlePlan)
 	mux.HandleFunc("POST /v1/search", s.handleSearch)
+	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	mux.HandleFunc("POST /v1/experiments/{id}", s.handleExperiment)
 	return mux
 }
@@ -154,6 +157,10 @@ const maxBodyBytes = 1 << 20
 // process away from every other tenant.
 const maxNodes = 512
 
+// maxScenarioEvents bounds one request's event timeline; real fault
+// scripts are a handful of events.
+const maxScenarioEvents = 256
+
 // decode parses a config.Config request body strictly and applies the
 // server-side resource bounds.
 func decode(w http.ResponseWriter, r *http.Request) (*config.Config, error) {
@@ -169,6 +176,9 @@ func decode(w http.ResponseWriter, r *http.Request) (*config.Config, error) {
 	}
 	if nodes > maxNodes {
 		return nil, fmt.Errorf("api: %d nodes exceeds the per-request limit of %d", nodes, maxNodes)
+	}
+	if c.Scenario != nil && len(c.Scenario.Events) > maxScenarioEvents {
+		return nil, fmt.Errorf("api: %d scenario events exceeds the per-request limit of %d", len(c.Scenario.Events), maxScenarioEvents)
 	}
 	return c, nil
 }
@@ -198,6 +208,10 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "plan needs tensor_size >= 1 and pipeline_size >= 1 (use /v1/search to search degrees)")
 		return
 	}
+	if !c.Scenario.Empty() {
+		writeError(w, http.StatusBadRequest, "plan evaluates a pristine fabric; use /v1/simulate to run under a scenario")
+		return
+	}
 	pl, err := s.planner(c)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -216,6 +230,58 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// SimulateResponse is the outcome of /v1/simulate.
+type SimulateResponse struct {
+	Degrees   DegreesJSON `json:"degrees"`
+	Partition string      `json:"partition"`
+	Report    ReportJSON  `json:"report"`
+	// Scenario labels the event timeline the iteration ran under ("" =
+	// pristine); ScenarioEvents counts the events that fired before the
+	// iteration completed.
+	Scenario       string `json:"scenario,omitempty"`
+	ScenarioEvents int    `json:"scenario_events,omitempty"`
+}
+
+// handleSimulate runs one training iteration — optionally under a
+// scripted scenario — and reports the paper's metrics. Unlike /v1/plan it
+// never builds a Planner: the degrees are the caller's to fix, and the
+// fabric carries whatever the scenario scripts onto it.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	c, err := decode(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if c.TensorSize < 1 || c.PipelineSize < 1 {
+		writeError(w, http.StatusBadRequest, "simulate needs tensor_size >= 1 and pipeline_size >= 1")
+		return
+	}
+	tc, err := c.TrainerConfig()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	tc.Engine = s.eng
+	rep, err := trainer.Simulate(tc)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SimulateResponse{
+		Degrees:   DegreesJSON{Tensor: rep.Degrees.T, Pipeline: rep.Degrees.P, Data: rep.Degrees.D},
+		Partition: rep.Partition.String(),
+		Report: ReportJSON{
+			TFLOPS:          rep.TFLOPS,
+			Throughput:      rep.Throughput,
+			IterSeconds:     rep.IterSeconds,
+			ReduceScatterMs: rep.ReduceScatterSeconds * 1000,
+			MicroBatches:    rep.Micro,
+		},
+		Scenario:       rep.Scenario,
+		ScenarioEvents: rep.ScenarioEvents,
+	})
+}
+
 // SearchResponse is the outcome of /v1/search.
 type SearchResponse struct {
 	Winner PlanResponse `json:"winner"`
@@ -232,6 +298,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	if c.TensorSize != 0 || c.PipelineSize != 0 {
 		writeError(w, http.StatusBadRequest, "search picks tensor_size and pipeline_size itself; omit them (use /v1/plan for fixed degrees)")
+		return
+	}
+	if !c.Scenario.Empty() {
+		writeError(w, http.StatusBadRequest, "search evaluates a pristine fabric; use /v1/simulate to run under a scenario")
 		return
 	}
 	pl, err := s.planner(c)

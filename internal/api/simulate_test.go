@@ -1,0 +1,120 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+const simulateBody = `{"env":"Hybrid","nodes":4,"model":{"group":1},"tensor_size":1,"pipeline_size":2}`
+
+func TestSimulateEndpointPristine(t *testing.T) {
+	srv := newTestServer(t)
+	code, body := post(t, srv, "/v1/simulate", simulateBody)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var r SimulateResponse
+	if err := json.Unmarshal(body, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Degrees.Tensor != 1 || r.Degrees.Pipeline != 2 || r.Report.Throughput <= 0 {
+		t.Fatalf("response: %+v", r)
+	}
+	if r.Scenario != "" || r.ScenarioEvents != 0 {
+		t.Fatalf("pristine run reports a scenario: %+v", r)
+	}
+}
+
+func TestSimulateEndpointUnderScenario(t *testing.T) {
+	srv := newTestServer(t)
+	_, pristineBody := post(t, srv, "/v1/simulate", simulateBody)
+	var pristine SimulateResponse
+	if err := json.Unmarshal(pristineBody, &pristine); err != nil {
+		t.Fatal(err)
+	}
+
+	withSc := strings.TrimSuffix(simulateBody, "}") +
+		`,"scenario":{"name":"nic-fault","events":[{"kind":"fail_node","at":0,"node":0}]}}`
+	code, body := post(t, srv, "/v1/simulate", withSc)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var r SimulateResponse
+	if err := json.Unmarshal(body, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Scenario != "nic-fault" || r.ScenarioEvents != 1 {
+		t.Fatalf("scenario not reported: %+v", r)
+	}
+	if !(r.Report.IterSeconds > pristine.Report.IterSeconds) {
+		t.Fatalf("failed node did not increase step time: %v vs %v",
+			r.Report.IterSeconds, pristine.Report.IterSeconds)
+	}
+
+	// An empty scenario is bit-identical to no scenario.
+	empty := strings.TrimSuffix(simulateBody, "}") + `,"scenario":{}}`
+	code, body = post(t, srv, "/v1/simulate", empty)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var e SimulateResponse
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Report != pristine.Report {
+		t.Fatalf("empty scenario not a no-op:\n%+v\n%+v", e.Report, pristine.Report)
+	}
+}
+
+func TestSimulateEndpointRejectsBadRequests(t *testing.T) {
+	srv := newTestServer(t)
+	cases := []struct {
+		name, body string
+	}{
+		{"missing degrees", `{"env":"Hybrid","nodes":4,"model":{"group":1}}`},
+		{"invalid event", `{"env":"Hybrid","nodes":4,"model":{"group":1},"tensor_size":1,"pipeline_size":2,
+			"scenario":{"events":[{"kind":"degrade_nic","at":0,"factor":9}]}}`},
+		{"unknown scenario field", `{"env":"Hybrid","nodes":4,"model":{"group":1},"tensor_size":1,"pipeline_size":2,
+			"scenario":{"events":[{"kind":"fail_node","at":0,"frobnicate":true}]}}`},
+	}
+	for _, tc := range cases {
+		code, body := post(t, srv, "/v1/simulate", tc.body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s)", tc.name, code, body)
+		}
+	}
+
+	// Out-of-range node targets are caught at bind time.
+	code, body := post(t, srv, "/v1/simulate",
+		`{"env":"Hybrid","nodes":4,"model":{"group":1},"tensor_size":1,"pipeline_size":2,
+		  "scenario":{"events":[{"kind":"fail_node","at":0,"node":64}]}}`)
+	if code != http.StatusUnprocessableEntity {
+		t.Errorf("out-of-range node: status %d (%s)", code, body)
+	}
+
+	// A timeline above the event budget is rejected before simulating.
+	var evs []string
+	for i := 0; i <= maxScenarioEvents; i++ {
+		evs = append(evs, `{"kind":"fail_node","at":0,"node":0}`)
+	}
+	huge := fmt.Sprintf(`{"env":"Hybrid","nodes":4,"model":{"group":1},"tensor_size":1,"pipeline_size":2,
+		"scenario":{"events":[%s]}}`, strings.Join(evs, ","))
+	if code, body := post(t, srv, "/v1/simulate", huge); code != http.StatusBadRequest {
+		t.Errorf("oversized timeline: status %d (%s)", code, body)
+	}
+
+	// Plan and search stay scenario-free surfaces.
+	withSc := `{"env":"Hybrid","nodes":4,"model":{"group":1},"tensor_size":1,"pipeline_size":2,
+		"scenario":{"events":[{"kind":"fail_node","at":0,"node":0}]}}`
+	if code, body := post(t, srv, "/v1/plan", withSc); code != http.StatusBadRequest {
+		t.Errorf("plan accepted a scenario: status %d (%s)", code, body)
+	}
+	searchSc := `{"env":"Hybrid","nodes":4,"model":{"group":1},
+		"scenario":{"events":[{"kind":"fail_node","at":0,"node":0}]}}`
+	if code, body := post(t, srv, "/v1/search", searchSc); code != http.StatusBadRequest {
+		t.Errorf("search accepted a scenario: status %d (%s)", code, body)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"os"
 
 	"holmes/internal/model"
+	"holmes/internal/scenario"
 	"holmes/internal/topology"
 	"holmes/internal/trainer"
 )
@@ -51,6 +52,10 @@ type Config struct {
 	SelfAdapting *bool    `json:"self_adapting,omitempty"`
 	Overlapped   *bool    `json:"overlapped,omitempty"`
 	Alpha        *float64 `json:"alpha,omitempty"`
+	// Scenario scripts cluster events (degraded NICs, failed nodes,
+	// background traffic) onto the simulation's fabric; nil or empty runs
+	// on a pristine fabric.
+	Scenario *scenario.Scenario `json:"scenario,omitempty"`
 }
 
 // Load parses a config from JSON.
@@ -60,6 +65,9 @@ func Load(r io.Reader) (*Config, error) {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&c); err != nil {
 		return nil, fmt.Errorf("config: %w", err)
+	}
+	if err := c.Scenario.Validate(); err != nil {
+		return nil, err
 	}
 	return &c, nil
 }
@@ -189,5 +197,6 @@ func (c *Config) TrainerConfig() (trainer.Config, error) {
 		Topo: topo, Spec: spec,
 		TensorSize: c.TensorSize, PipelineSize: c.PipelineSize,
 		Framework: fw, Opt: opt,
+		Scenario: c.Scenario,
 	}, nil
 }

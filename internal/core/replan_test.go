@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"holmes/internal/model"
+	"holmes/internal/scenario"
+	"holmes/internal/topology"
+)
+
+func TestReplanOnExcludesFailedNode(t *testing.T) {
+	topo := topology.HybridEnv(4)
+	pl, err := NewPlanner(topo, model.Group(1).Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &scenario.Scenario{
+		Name:   "node-0-down",
+		Events: []scenario.Event{{Kind: scenario.FailNode, At: 0, Node: 0}},
+	}
+	rep, err := pl.ReplanOn(sc, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.ExcludedNodes; len(got) != 1 || got[0] != 0 {
+		t.Fatalf("excluded %v, want [0]", got)
+	}
+	if rep.EffectiveTopo.NumNodes() != topo.NumNodes()-1 {
+		t.Fatalf("effective topology has %d nodes, want %d", rep.EffectiveTopo.NumNodes(), topo.NumNodes()-1)
+	}
+	// The replanned configuration cannot address the failed node's GPUs.
+	if rep.After.Assign.N != rep.EffectiveTopo.NumDevices() {
+		t.Fatalf("after-plan spans %d ranks, effective topology has %d", rep.After.Assign.N, rep.EffectiveTopo.NumDevices())
+	}
+	// The failure must hurt the old plan, and replanning must beat
+	// limping along on the failed fabric.
+	if !(rep.Degraded.IterSeconds > rep.Before.Report.IterSeconds) {
+		t.Errorf("failure did not increase step time: %.4fs vs %.4fs", rep.Degraded.IterSeconds, rep.Before.Report.IterSeconds)
+	}
+	if f := rep.RecoveryFactor(); !(f > 1) {
+		t.Errorf("replanning does not recover (factor %.3f)", f)
+	}
+	if f := rep.RetainedFraction(); !(f > 0 && f < 1) {
+		t.Errorf("retained fraction %.3f outside (0,1): losing a node cannot be free", f)
+	}
+	if rep.Describe() == "" {
+		t.Error("empty description")
+	}
+}
+
+// A degrade-only scenario keeps every node: the replan sees the same
+// node count but reduced capacity on the degraded node.
+func TestReplanOnDegradeKeepsNodes(t *testing.T) {
+	topo := topology.IBEnv(2)
+	pl, err := NewPlanner(topo, model.Group(1).Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &scenario.Scenario{Events: []scenario.Event{
+		{Kind: scenario.DegradeNIC, At: 0, Node: 1, Class: scenario.ClassRDMA, Factor: 0.25},
+	}}
+	rep, err := pl.ReplanOn(sc, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.ExcludedNodes) != 0 || rep.EffectiveTopo.NumNodes() != 2 {
+		t.Fatalf("degrade excluded nodes: %v, %d nodes", rep.ExcludedNodes, rep.EffectiveTopo.NumNodes())
+	}
+	if got, want := rep.EffectiveTopo.Node(1).RDMAGbps(), topo.Node(1).RDMAGbps()*0.25; got != want {
+		t.Fatalf("effective capacity %v, want %v", got, want)
+	}
+}
+
+func TestReplanOnRejectsEmptyAndInvalid(t *testing.T) {
+	pl, err := NewPlanner(topology.IBEnv(2), model.Group(1).Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.ReplanOn(nil, math.Inf(1)); err == nil {
+		t.Error("nil scenario accepted")
+	}
+	if _, err := pl.ReplanOn(&scenario.Scenario{}, math.Inf(1)); err == nil {
+		t.Error("empty scenario accepted")
+	}
+	bad := &scenario.Scenario{Events: []scenario.Event{{Kind: scenario.FailNode, At: 0, Node: 99}}}
+	if _, err := pl.ReplanOn(bad, math.Inf(1)); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+}

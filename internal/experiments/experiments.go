@@ -29,6 +29,7 @@ import (
 
 	"holmes/internal/engine"
 	"holmes/internal/model"
+	"holmes/internal/scenario"
 	"holmes/internal/topology"
 	"holmes/internal/trainer"
 )
@@ -139,6 +140,8 @@ type cell struct {
 	opt        *trainer.Options
 	paperT     float64
 	paperS     float64
+	// sc scripts cluster events onto the cell's fabric (nil = pristine).
+	sc *scenario.Scenario
 }
 
 // runCell simulates one cell on the suite's engine: the engine decides
@@ -147,7 +150,7 @@ type cell struct {
 func (s Suite) runCell(c cell) (Row, error) {
 	rep, err := trainer.Simulate(trainer.Config{
 		Topo: c.topo, Spec: c.spec, TensorSize: c.t, PipelineSize: c.p,
-		Framework: c.fw, Opt: c.opt, Engine: s.eng,
+		Framework: c.fw, Opt: c.opt, Engine: s.eng, Scenario: c.sc,
 	})
 	if err != nil {
 		return Row{}, fmt.Errorf("%s/%s: %w", c.exp, c.label, err)
@@ -244,9 +247,11 @@ var table3Paper = map[int]map[topology.EnvName][3][2]float64{
 // Table3Nodes are the node counts of Table 3's columns.
 var Table3Nodes = []int{4, 6, 8}
 
-// Table3 reproduces the full Table 3 grid: four parameter groups × four
-// NIC environments × {4, 6, 8} nodes.
-func (s Suite) Table3() ([]Row, error) {
+// table3Cells builds the Table 3 grid in row order: four parameter
+// groups × four NIC environments × {4, 6, 8} nodes. Table3 runs it as
+// is; Scenarios crosses the same cells with fault arms, so the two
+// grids can never drift apart.
+func table3Cells() ([]cell, error) {
 	base := trainer.BaseOptions()
 	var cells []cell
 	for id := 1; id <= 4; id++ {
@@ -268,6 +273,15 @@ func (s Suite) Table3() ([]Row, error) {
 				})
 			}
 		}
+	}
+	return cells, nil
+}
+
+// Table3 reproduces the full Table 3 grid.
+func (s Suite) Table3() ([]Row, error) {
+	cells, err := table3Cells()
+	if err != nil {
+		return nil, err
 	}
 	return s.runCells(cells)
 }
@@ -428,6 +442,44 @@ func (s Suite) Table4() ([]Row, error) {
 	return s.runCells(cells)
 }
 
+// ScenarioVariants are the fault arms of the scenario grid, in row
+// order. The pristine arm is an empty scenario — bit-identical to the
+// plain Table 3 cell by construction; the degraded arm halves node 0's
+// RDMA and Ethernet capacity from the start of the iteration; the failed
+// arm drops node 0 off the network fabric entirely.
+var ScenarioVariants = []*scenario.Scenario{
+	{Name: "pristine"},
+	{Name: "degraded", Events: []scenario.Event{
+		{Kind: scenario.DegradeNIC, At: 0, Node: 0, Class: scenario.ClassRDMA, Factor: 0.5},
+		{Kind: scenario.DegradeNIC, At: 0, Node: 0, Class: scenario.ClassEther, Factor: 0.5},
+	}},
+	{Name: "failed", Events: []scenario.Event{
+		{Kind: scenario.FailNode, At: 0, Node: 0},
+	}},
+}
+
+// Scenarios runs the scenario grid: every Table 3 cell under each of the
+// ScenarioVariants fault arms — the robustness counterpart of the paper's
+// headline table. Rows keep Table 3's cell order, fault arms innermost.
+func (s Suite) Scenarios() ([]Row, error) {
+	base, err := table3Cells()
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]cell, 0, len(base)*len(ScenarioVariants))
+	for _, c := range base {
+		for _, sc := range ScenarioVariants {
+			c := c
+			c.exp = "scenarios"
+			c.label += "/" + sc.Name
+			c.paperT, c.paperS = 0, 0 // the paper has no under-fault numbers
+			c.sc = sc
+			cells = append(cells, c)
+		}
+	}
+	return s.runCells(cells)
+}
+
 // All runs every experiment, keyed by experiment id in paper order.
 func (s Suite) All() (map[string][]Row, error) {
 	out := make(map[string][]Row)
@@ -441,8 +493,9 @@ func (s Suite) All() (map[string][]Row, error) {
 	return out, nil
 }
 
-// Names lists experiment ids in paper order.
-var Names = []string{"table1", "table3", "fig4", "fig5", "fig6", "fig7", "table4"}
+// Names lists experiment ids in paper order; "scenarios" is the grid's
+// fault-robustness extension beyond the paper.
+var Names = []string{"table1", "table3", "fig4", "fig5", "fig6", "fig7", "table4", "scenarios"}
 
 // Run dispatches one experiment by id.
 func (s Suite) Run(id string) ([]Row, error) {
@@ -461,6 +514,8 @@ func (s Suite) Run(id string) ([]Row, error) {
 		return s.Figure7()
 	case "table4":
 		return s.Table4()
+	case "scenarios":
+		return s.Scenarios()
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q (want one of %v)", id, Names)
 	}

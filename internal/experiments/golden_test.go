@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Golden-file regression: the committed testdata/*.golden.json rows pin
+// every Table 1 and Table 3 cell bit-for-bit. The simulator is fully
+// deterministic (input-ordered fan-out, incremental rebalancer held
+// bit-identical to its oracle), so any drift — a calibration nudge, a
+// cost-model change, an accidental reordering — fails here with a
+// row-level diff before it can silently rewrite the paper comparison.
+//
+// Refresh intentionally with:
+//
+//	go test ./internal/experiments -run Golden -update
+//
+// (Goldens are produced on amd64; Go permits FMA fusion on some other
+// architectures, which could shift last-ulp float results there.)
+
+var update = flag.Bool("update", false, "rewrite golden files with current results")
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", name+".golden.json")
+}
+
+// checkGolden compares rows against the committed golden, reporting
+// every mismatch row by row, field by field.
+func checkGolden(t *testing.T, name string, rows []Row) {
+	t.Helper()
+	path := goldenPath(name)
+	if *update {
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d rows)", path, len(rows))
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	var want []Row
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("corrupt golden %s: %v", path, err)
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("%s: %d rows, golden has %d", name, len(rows), len(want))
+	}
+	for i := range want {
+		if diff := diffRows(want[i], rows[i]); diff != "" {
+			t.Errorf("%s row %d (%s) drifted from golden:\n%s", name, i, want[i].Label, diff)
+		}
+	}
+}
+
+// diffRows renders a readable field-level diff between a golden row and
+// a freshly computed one ("" = identical).
+func diffRows(want, got Row) string {
+	var b strings.Builder
+	cmpS := func(field, w, g string) {
+		if w != g {
+			fmt.Fprintf(&b, "  %-16s golden %q, got %q\n", field, w, g)
+		}
+	}
+	cmpF := func(field string, w, g float64) {
+		if w != g {
+			fmt.Fprintf(&b, "  %-16s golden %.17g, got %.17g\n", field, w, g)
+		}
+	}
+	cmpS("Experiment", want.Experiment, got.Experiment)
+	cmpS("Label", want.Label, got.Label)
+	cmpF("TFLOPS", want.TFLOPS, got.TFLOPS)
+	cmpF("Throughput", want.Throughput, got.Throughput)
+	cmpF("ReduceScatterMs", want.ReduceScatterMs, got.ReduceScatterMs)
+	cmpF("PaperTFLOPS", want.PaperTFLOPS, got.PaperTFLOPS)
+	cmpF("PaperThroughput", want.PaperThroughput, got.PaperThroughput)
+	cmpS("Partition", want.Partition, got.Partition)
+	return b.String()
+}
+
+func TestTable1MatchesGolden(t *testing.T) {
+	rows, err := NewSuite(nil).Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table1", rows)
+}
+
+func TestTable3MatchesGolden(t *testing.T) {
+	rows, err := NewSuite(nil).Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table3", rows)
+}

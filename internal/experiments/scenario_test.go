@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// The scenario grid's acceptance contract: the pristine arm (an empty
+// scenario) is bit-identical to the plain Table 3 rows committed in the
+// golden file, while the fault arms strictly cost throughput.
+func TestScenarioGridAgainstTable3Golden(t *testing.T) {
+	rows, err := NewSuite(nil).Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 48 * len(ScenarioVariants); len(rows) != want {
+		t.Fatalf("scenario grid has %d rows, want %d", len(rows), want)
+	}
+	arms := make(map[string][]Row) // variant name -> rows in Table 3 cell order
+	for _, r := range rows {
+		i := strings.LastIndex(r.Label, "/")
+		arms[r.Label[i+1:]] = append(arms[r.Label[i+1:]], r)
+	}
+
+	data, err := os.ReadFile(goldenPath("table3"))
+	if err != nil {
+		t.Fatalf("missing table3 golden: %v", err)
+	}
+	var golden []Row
+	if err := json.Unmarshal(data, &golden); err != nil {
+		t.Fatal(err)
+	}
+
+	pristine := arms["pristine"]
+	if len(pristine) != len(golden) {
+		t.Fatalf("%d pristine rows vs %d golden rows", len(pristine), len(golden))
+	}
+	for i, g := range golden {
+		p := pristine[i]
+		// Bit-identical metrics: an empty scenario schedules nothing, so
+		// the simulation must be indistinguishable from no scenario.
+		if p.TFLOPS != g.TFLOPS || p.Throughput != g.Throughput ||
+			p.ReduceScatterMs != g.ReduceScatterMs || p.Partition != g.Partition {
+			t.Errorf("pristine arm drifted from golden at %s:\n%s", g.Label, diffRows(g, p))
+		}
+	}
+
+	for i, g := range golden {
+		deg, failed := arms["degraded"][i], arms["failed"][i]
+		if deg.Throughput > g.Throughput {
+			t.Errorf("%s: degraded arm faster than pristine (%.4f > %.4f)", g.Label, deg.Throughput, g.Throughput)
+		}
+		// A failed node strictly increases step time (throughput is
+		// GlobalBatch/IterSeconds, so it strictly drops), and hurts more
+		// than mere degradation.
+		if !(failed.Throughput < g.Throughput) {
+			t.Errorf("%s: failed arm not strictly slower (%.6f vs %.6f)", g.Label, failed.Throughput, g.Throughput)
+		}
+		if !(failed.Throughput <= deg.Throughput) {
+			t.Errorf("%s: failure milder than degradation (%.6f > %.6f)", g.Label, failed.Throughput, deg.Throughput)
+		}
+	}
+}

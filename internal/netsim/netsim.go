@@ -332,6 +332,21 @@ func (f *Fabric) StartFlow(src, dst int, bytes float64, class Class, onDone func
 	return fl
 }
 
+// StartFlowRateCapped is StartFlow with an explicit per-flow rate ceiling
+// in bytes/s on top of any technology-wide cap: the flow offers at most
+// rateCap of load but still shares max-min fairly under congestion.
+// Background-traffic injection (internal/scenario) uses it to model a
+// tenant streaming at a fixed rate. rateCap <= 0 means uncapped.
+func (f *Fabric) StartFlowRateCapped(src, dst int, bytes float64, class Class, rateCap float64, onDone func()) *Flow {
+	fl := f.StartFlow(src, dst, bytes, class, onDone)
+	// Safe to tighten here: the flow joins the fabric only after its
+	// latency event fires, strictly later than this call.
+	if rateCap > 0 && rateCap < fl.cap {
+		fl.cap = rateCap
+	}
+	return fl
+}
+
 func (f *Fabric) admit(fl *Flow) {
 	fl.started = true
 	if fl.remaining <= 0 {

@@ -1,0 +1,191 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"holmes/internal/netsim"
+	"holmes/internal/topology"
+)
+
+// ValidateFor checks the topology-dependent invariants: every node and
+// cluster an event names must exist. Call after Validate.
+func (s *Scenario) ValidateFor(topo *topology.Topology) error {
+	if s.Empty() {
+		return nil
+	}
+	nodes, clusters := topo.NumNodes(), topo.NumClusters()
+	for i, ev := range s.Events {
+		switch ev.Kind {
+		case DegradeNIC, FailNode, RestoreNode:
+			if ev.Node >= nodes {
+				return fmt.Errorf("scenario: event %d: node %d outside topology (%d nodes)", i, ev.Node, nodes)
+			}
+		case BackgroundTraffic:
+			if ev.Src >= nodes || ev.Dst >= nodes {
+				return fmt.Errorf("scenario: event %d: background traffic %d->%d outside topology (%d nodes)", i, ev.Src, ev.Dst, nodes)
+			}
+		case JoinNodes:
+			if ev.Cluster >= clusters {
+				return fmt.Errorf("scenario: event %d: cluster %d outside topology (%d clusters)", i, ev.Cluster, clusters)
+			}
+		}
+	}
+	return nil
+}
+
+// NodeState is the folded condition of one node at an instant.
+type NodeState struct {
+	// Failed marks the node dropped off the network.
+	Failed bool
+	// Cumulative capacity factors by class (1 = pristine). Consecutive
+	// degrades compound, mirroring netsim.DegradeNode semantics.
+	RDMAFactor, EthFactor, IntraFactor float64
+}
+
+func pristineNode() NodeState {
+	return NodeState{RDMAFactor: 1, EthFactor: 1, IntraFactor: 1}
+}
+
+// State is the folded condition of the whole timeline at an instant.
+type State struct {
+	// Nodes holds the state of every node an event has touched, keyed by
+	// global node index; untouched nodes are pristine.
+	Nodes map[int]NodeState
+	// Joined counts extra nodes per cluster index.
+	Joined map[int]int
+}
+
+// StateAt folds every event with At <= at, in (At, declaration) order,
+// into the net node/cluster condition — the same order Bind applies them
+// to a fabric, so both views of a timeline always agree.
+func (s *Scenario) StateAt(at float64) State {
+	st := State{Nodes: make(map[int]NodeState), Joined: make(map[int]int)}
+	if s.Empty() {
+		return st
+	}
+	for _, ev := range s.ordered() {
+		if ev.At > at {
+			break
+		}
+		switch ev.Kind {
+		case DegradeNIC:
+			ns, ok := st.Nodes[ev.Node]
+			if !ok {
+				ns = pristineNode()
+			}
+			class, err := ev.Class.netClass(netsim.RDMA)
+			if err != nil {
+				continue // Validate rejects this; fold defensively
+			}
+			switch class {
+			case netsim.RDMA:
+				ns.RDMAFactor *= ev.Factor
+			case netsim.Ether:
+				ns.EthFactor *= ev.Factor
+			default:
+				ns.IntraFactor *= ev.Factor
+			}
+			st.Nodes[ev.Node] = ns
+		case FailNode:
+			ns, ok := st.Nodes[ev.Node]
+			if !ok {
+				ns = pristineNode()
+			}
+			ns.Failed = true
+			st.Nodes[ev.Node] = ns
+		case RestoreNode:
+			delete(st.Nodes, ev.Node)
+		case JoinNodes:
+			st.Joined[ev.Cluster] += ev.Count
+		}
+	}
+	return st
+}
+
+// FailedNodes lists the global indices of nodes failed at the instant,
+// ascending.
+func (st State) FailedNodes() []int {
+	var out []int
+	for idx, ns := range st.Nodes {
+		if ns.Failed {
+			out = append(out, idx)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// EffectiveSpec folds the timeline at the instant into a buildable
+// topology spec: failed nodes are excluded, degraded nodes carry their
+// reduced NIC line rates as per-node overrides, and joined nodes extend
+// their cluster at its baseline configuration. Intra-node degradation has
+// no topology-level representation (the planner treats NVLink/PCIe as
+// fixed) and affects only the bound fabric.
+//
+// The second return value lists the excluded nodes by original global
+// index. Building the spec fails if no nodes survive.
+func (s *Scenario) EffectiveSpec(topo *topology.Topology, at float64) (topology.Spec, []int, error) {
+	st := s.StateAt(at)
+	n0 := topo.Node(0)
+	spec := topology.Spec{
+		GPUsPerNode: topo.GPUsPerNode,
+		GPUMemBytes: n0.MemBytesPerGPU,
+		Intra:       n0.Intra,
+		EthGbps:     n0.EthNIC.Gbps,
+	}
+	excluded := st.FailedNodes()
+	for _, c := range topo.Clusters {
+		base := c.Nodes[0]
+		cs := topology.ClusterSpec{
+			Name:        c.Name,
+			NIC:         c.NICType,
+			NICsPerNode: len(base.NICs),
+			Overrides:   make(map[int]topology.NodeOverride),
+		}
+		if len(base.NICs) > 0 {
+			cs.GbpsPerNIC = base.NICs[0].Gbps
+		}
+		pos := 0
+		for _, n := range c.Nodes {
+			ns, touched := st.Nodes[n.Index]
+			if touched && ns.Failed {
+				continue
+			}
+			if !touched {
+				ns = pristineNode()
+			}
+			ov := topology.NodeOverride{EthGbps: n.EthNIC.Gbps * ns.EthFactor}
+			if len(n.NICs) > 0 {
+				ov.GbpsPerNIC = n.NICs[0].Gbps * ns.RDMAFactor
+			}
+			cs.Overrides[pos] = ov
+			pos++
+		}
+		cs.Nodes = pos + st.Joined[c.Index]
+		if cs.Nodes == 0 {
+			// Every node of the cluster failed and none joined: the
+			// cluster disappears from the effective topology.
+			continue
+		}
+		spec.Clusters = append(spec.Clusters, cs)
+	}
+	if len(spec.Clusters) == 0 {
+		return topology.Spec{}, excluded, fmt.Errorf("scenario: no nodes survive at t=%v", at)
+	}
+	return spec, excluded, nil
+}
+
+// EffectiveTopology builds the post-event topology at the instant; see
+// EffectiveSpec.
+func (s *Scenario) EffectiveTopology(topo *topology.Topology, at float64) (*topology.Topology, []int, error) {
+	spec, excluded, err := s.EffectiveSpec(topo, at)
+	if err != nil {
+		return nil, excluded, err
+	}
+	eff, err := topology.Build(spec)
+	if err != nil {
+		return nil, excluded, fmt.Errorf("scenario: effective topology: %w", err)
+	}
+	return eff, excluded, nil
+}

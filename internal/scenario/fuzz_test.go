@@ -1,0 +1,72 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"holmes/internal/topology"
+)
+
+// FuzzScenarioDecode feeds Load arbitrary JSON. Decoding must never
+// panic: it either returns an error or a validated scenario. A scenario
+// that validates must survive a marshal/load round trip unchanged, fold
+// into a state at any instant, and — when its targets fit a small
+// topology — produce a buildable effective topology or a clean error.
+func FuzzScenarioDecode(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","events":[{"kind":"fail_node","at":1,"node":0}]}`))
+	f.Add([]byte(`{"events":[{"kind":"degrade_nic","at":0.5,"node":1,"class":"RDMA","factor":0.25}]}`))
+	f.Add([]byte(`{"events":[{"kind":"background_traffic","at":0,"src":0,"dst":1,"gbps":20,"until":5}]}`))
+	f.Add([]byte(`{"events":[{"kind":"join_nodes","at":2,"cluster":1,"count":2},{"kind":"restore_node","at":3,"node":0}]}`))
+	f.Add([]byte(`{"events":[{"kind":"degrade_nic","at":-1,"factor":9}]}`)) // invalid: must error
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"events":[{"kind":"degrade_nic","at":1e308,"factor":1e-9}]}`))
+
+	topo := topology.HybridEnv(4)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return // invalid timelines must error, not panic
+		}
+		// Load validated it; Validate must agree on the round trip.
+		out, err := json.Marshal(sc)
+		if err != nil {
+			t.Fatalf("valid scenario does not marshal: %v", err)
+		}
+		back, err := Load(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\n%s", err, out)
+		}
+		if back.Name != sc.Name || len(back.Events) != len(sc.Events) {
+			t.Fatalf("round trip changed the scenario: %+v vs %+v", back, sc)
+		}
+		for i := range sc.Events {
+			if back.Events[i] != sc.Events[i] {
+				t.Fatalf("event %d changed in round trip: %+v vs %+v", i, back.Events[i], sc.Events[i])
+			}
+		}
+		// Folding must not panic at any instant.
+		for _, at := range []float64{0, 0.5, 1e9} {
+			st := sc.StateAt(at)
+			for _, ns := range st.Nodes {
+				if ns.RDMAFactor < 0 || ns.EthFactor < 0 || ns.IntraFactor < 0 {
+					t.Fatalf("negative folded factor: %+v", ns)
+				}
+			}
+		}
+		// When the timeline fits the topology, the effective topology
+		// either builds valid or errors cleanly.
+		if err := sc.ValidateFor(topo); err != nil {
+			return
+		}
+		eff, _, err := sc.EffectiveTopology(topo, 1e9)
+		if err != nil {
+			return
+		}
+		if err := eff.Validate(); err != nil {
+			t.Fatalf("effective topology invalid: %v", err)
+		}
+	})
+}

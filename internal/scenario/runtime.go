@@ -1,0 +1,192 @@
+package scenario
+
+import (
+	"fmt"
+
+	"holmes/internal/netsim"
+	"holmes/internal/sim"
+)
+
+// Background-traffic generation constants. A stream is modelled as
+// back-to-back rate-capped chunks rather than one unbounded flow: each
+// chunk completion is a scheduling point, so the stream reacts to
+// congestion and to Until/Stop, while the per-flow cap keeps the offered
+// load at the scripted rate when the path is uncongested.
+const (
+	// bgChunkSeconds is the chunk length of a rate-limited stream, in
+	// seconds of offered traffic.
+	bgChunkSeconds = 0.05
+	// bgGreedyChunkBytes is the chunk size of a greedy (Gbps = 0) stream.
+	bgGreedyChunkBytes = 64 << 20
+)
+
+// Runtime is one scenario bound to a fabric's engine: it owns the
+// scheduled timeline events, the background-traffic generators, and the
+// capacities saved for RestoreNode. Stop cancels everything still
+// pending; the trainer calls it when the iteration completes so an
+// open-ended scenario (background traffic with Until = 0, events
+// scripted past the iteration's end) cannot keep the engine alive.
+type Runtime struct {
+	eng     *sim.Engine
+	fab     *netsim.Fabric
+	stopped bool
+	pending []*sim.Event
+	saved   map[capKey]savedCaps
+	applied int
+}
+
+type capKey struct {
+	node  int
+	class netsim.Class
+}
+
+type savedCaps struct{ out, in float64 }
+
+// Bind validates the scenario against the fabric's topology and schedules
+// every event onto the engine at its simulated instant. Events apply in
+// (At, declaration) order; an empty scenario schedules nothing, so the
+// bound run is bit-identical to an unbound one. JoinNodes events are
+// fabric no-ops (a running iteration cannot adopt new nodes); they exist
+// for the replanning path (EffectiveTopology).
+func (s *Scenario) Bind(eng *sim.Engine, fab *netsim.Fabric) (*Runtime, error) {
+	rt := &Runtime{eng: eng, fab: fab, saved: make(map[capKey]savedCaps)}
+	if s.Empty() {
+		return rt, nil
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if err := s.ValidateFor(fab.Topo); err != nil {
+		return nil, err
+	}
+	for _, ev := range s.ordered() {
+		ev := ev
+		switch ev.Kind {
+		case DegradeNIC:
+			rt.schedule(ev.At, func() { rt.degrade(ev) })
+		case FailNode:
+			rt.schedule(ev.At, func() { rt.fail(ev) })
+		case RestoreNode:
+			rt.schedule(ev.At, func() { rt.restore(ev) })
+		case BackgroundTraffic:
+			rt.schedule(ev.At, func() { rt.stream(ev) })
+		case JoinNodes:
+			// No fabric effect; counted as applied for observability.
+			rt.schedule(ev.At, func() {})
+		}
+	}
+	return rt, nil
+}
+
+func (rt *Runtime) schedule(at float64, fn func()) {
+	rt.pending = append(rt.pending, rt.eng.At(at, func() {
+		rt.applied++
+		fn()
+	}))
+}
+
+// Applied reports how many timeline events have fired so far.
+func (rt *Runtime) Applied() int {
+	if rt == nil {
+		return 0
+	}
+	return rt.applied
+}
+
+// Stop cancels all pending timeline events and halts background-traffic
+// generation; chunks already on the wire drain normally. Safe to call on
+// a nil runtime and idempotent.
+func (rt *Runtime) Stop() {
+	if rt == nil || rt.stopped {
+		return
+	}
+	rt.stopped = true
+	for _, ev := range rt.pending {
+		ev.Cancel()
+	}
+	rt.pending = nil
+}
+
+// saveOnce records a node link-pair's pre-event capacities the first time
+// a degrade or failure touches it, so RestoreNode returns to the original
+// state no matter how many events compounded in between.
+func (rt *Runtime) saveOnce(node int, class netsim.Class, out, in float64) {
+	key := capKey{node: node, class: class}
+	if _, ok := rt.saved[key]; !ok {
+		rt.saved[key] = savedCaps{out: out, in: in}
+	}
+}
+
+func (rt *Runtime) degrade(ev Event) {
+	class, err := ev.Class.netClass(netsim.RDMA)
+	if err == nil {
+		var out, in float64
+		out, in, err = rt.fab.DegradeNode(ev.Node, class, ev.Factor)
+		if err == nil {
+			rt.saveOnce(ev.Node, class, out, in)
+		}
+	}
+	if err != nil {
+		// Validate/ValidateFor admit only in-range events, so this is a
+		// programming error, not an input error.
+		panic(fmt.Sprintf("scenario: degrade_nic: %v", err))
+	}
+}
+
+// fail collapses the node's RDMA and Ethernet links; the intra-node
+// interconnect is untouched (the fluid model has no notion of killed
+// compute — FailNode means "dropped off the network", and the replanning
+// path is where the node disappears entirely).
+func (rt *Runtime) fail(ev Event) {
+	for _, class := range []netsim.Class{netsim.RDMA, netsim.Ether} {
+		out, in, err := rt.fab.FailNode(ev.Node, class)
+		if err != nil {
+			panic(fmt.Sprintf("scenario: fail_node: %v", err))
+		}
+		rt.saveOnce(ev.Node, class, out, in)
+	}
+}
+
+// restore returns every link class the scenario has touched on the node
+// to its original capacity. Restoring an untouched node is a no-op.
+func (rt *Runtime) restore(ev Event) {
+	for _, class := range []netsim.Class{netsim.Intra, netsim.RDMA, netsim.Ether} {
+		key := capKey{node: ev.Node, class: class}
+		sc, ok := rt.saved[key]
+		if !ok {
+			continue
+		}
+		if err := rt.fab.RestoreNode(ev.Node, class, sc.out, sc.in); err != nil {
+			panic(fmt.Sprintf("scenario: restore_node: %v", err))
+		}
+		delete(rt.saved, key)
+	}
+}
+
+// stream generates one background-traffic event's chunks: back-to-back
+// flows between the first device of each endpoint node, each chunk capped
+// at the scripted rate, until Until (or Stop) ends the stream.
+func (rt *Runtime) stream(ev Event) {
+	class, err := ev.Class.netClass(netsim.Ether)
+	if err != nil {
+		panic(fmt.Sprintf("scenario: background_traffic: %v", err))
+	}
+	g := rt.fab.Topo.GPUsPerNode
+	src, dst := ev.Src*g, ev.Dst*g
+	rate := ev.Gbps / 8 * 1e9 // bytes/s; 0 = greedy
+	chunk := float64(bgGreedyChunkBytes)
+	if rate > 0 {
+		chunk = rate * bgChunkSeconds
+	}
+	var next func()
+	next = func() {
+		if rt.stopped {
+			return
+		}
+		if ev.Until > 0 && rt.eng.Now() >= ev.Until {
+			return
+		}
+		rt.fab.StartFlowRateCapped(src, dst, chunk, class, rate, next)
+	}
+	next()
+}

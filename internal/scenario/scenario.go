@@ -1,0 +1,237 @@
+// Package scenario scripts cluster events over simulated time: NIC
+// degradation, node failure and recovery, background traffic stealing
+// bandwidth, and nodes joining a cluster.
+//
+// The paper assumes stable links and always-on devices (§1, Limitations),
+// but its motivating environments — aging, heterogeneous clusters — are
+// exactly where NICs flap and tenants share the wire. A Scenario is a
+// declarative, JSON-serializable timeline of such events. It is consumed
+// two ways:
+//
+//   - Bind schedules the events onto a sim.Engine so they hit a
+//     netsim.Fabric at the right simulated instants; trainer.Simulate
+//     then reports iteration time *under* the scenario rather than on a
+//     pristine fabric.
+//   - StateAt / EffectiveTopology fold the timeline into the topology a
+//     planner should reason about after the events: failed nodes
+//     excluded, degraded NICs at reduced line rate, joined nodes added.
+//     core.Planner.ReplanOn re-runs the joint (t, p) search on it.
+//
+// An empty scenario is a guaranteed no-op: Bind schedules nothing, so a
+// simulation under Scenario{} is bit-identical to one without a scenario.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"holmes/internal/netsim"
+)
+
+// Kind enumerates the scripted event types.
+type Kind string
+
+const (
+	// DegradeNIC scales one node's links of a class by Factor at time At
+	// (0 < Factor ≤ 1); consecutive degrades of the same node compound.
+	DegradeNIC Kind = "degrade_nic"
+	// FailNode drops a node off the network fabric at time At: its RDMA
+	// and Ethernet links collapse to a residual trickle (netsim.FailNode
+	// semantics), and replanning excludes the node entirely.
+	FailNode Kind = "fail_node"
+	// RestoreNode returns a previously degraded or failed node to its
+	// original capacities at time At.
+	RestoreNode Kind = "restore_node"
+	// BackgroundTraffic streams Gbps of load from node Src to node Dst on
+	// Class between At and Until (Until 0 = until the bound run stops),
+	// contending max-min fairly with the training flows.
+	BackgroundTraffic Kind = "background_traffic"
+	// JoinNodes adds Count nodes to cluster Cluster at time At. A running
+	// simulation cannot use them (a training job does not elastically
+	// resize mid-iteration); the event exists for the replanning path,
+	// where the effective topology grows.
+	JoinNodes Kind = "join_nodes"
+)
+
+// Class names a NIC class in event JSON.
+type Class string
+
+// Class values; the empty string selects a per-kind default (RDMA for
+// degrade/fail/restore, Ether for background traffic).
+const (
+	ClassRDMA  Class = "RDMA"
+	ClassEther Class = "Ether"
+	ClassIntra Class = "Intra"
+)
+
+// NetClass resolves the JSON name to the netsim class, tolerating common
+// spellings. def is the per-kind default for the empty string.
+func (c Class) netClass(def netsim.Class) (netsim.Class, error) {
+	switch c {
+	case "":
+		return def, nil
+	case ClassRDMA, "rdma":
+		return netsim.RDMA, nil
+	case ClassEther, "ether", "Ethernet", "ethernet", "Eth", "eth":
+		return netsim.Ether, nil
+	case ClassIntra, "intra":
+		return netsim.Intra, nil
+	default:
+		return 0, fmt.Errorf("scenario: unknown NIC class %q", string(c))
+	}
+}
+
+// Event is one scripted occurrence. Fields beyond Kind and At apply per
+// kind; unused fields must stay zero.
+type Event struct {
+	Kind Kind    `json:"kind"`
+	At   float64 `json:"at"` // simulated seconds from iteration start
+
+	// Node targets degrade_nic / fail_node / restore_node (global index).
+	Node int `json:"node,omitempty"`
+	// Class selects the link class for degrade_nic and
+	// background_traffic.
+	Class Class `json:"class,omitempty"`
+	// Factor is the degrade_nic capacity multiplier, in (0, 1].
+	Factor float64 `json:"factor,omitempty"`
+
+	// Src/Dst/Gbps/Until shape background_traffic.
+	Src   int     `json:"src,omitempty"`
+	Dst   int     `json:"dst,omitempty"`
+	Gbps  float64 `json:"gbps,omitempty"` // 0 = greedy (uncapped)
+	Until float64 `json:"until,omitempty"`
+
+	// Cluster/Count shape join_nodes.
+	Cluster int `json:"cluster,omitempty"`
+	Count   int `json:"count,omitempty"`
+}
+
+// Scenario is a named timeline of events. The zero value is the empty
+// scenario, a guaranteed no-op.
+type Scenario struct {
+	Name   string  `json:"name,omitempty"`
+	Events []Event `json:"events,omitempty"`
+}
+
+// Empty reports whether the scenario schedules nothing.
+func (s *Scenario) Empty() bool { return s == nil || len(s.Events) == 0 }
+
+// String renders a short label for reports: the name, or an event count.
+func (s *Scenario) String() string {
+	if s.Empty() {
+		return ""
+	}
+	if s.Name != "" {
+		return s.Name
+	}
+	return fmt.Sprintf("%d event(s)", len(s.Events))
+}
+
+// badTime reports whether t is unusable as a simulated instant.
+func badTime(t float64) bool { return t < 0 || math.IsNaN(t) || math.IsInf(t, 0) }
+
+// Validate checks the structural invariants every consumer relies on:
+// known kinds, finite non-negative times, factors in (0, 1], coherent
+// per-kind fields. Node/cluster bounds need a topology; see ValidateFor.
+func (s *Scenario) Validate() error {
+	if s == nil {
+		return nil
+	}
+	for i, ev := range s.Events {
+		if err := ev.validate(); err != nil {
+			return fmt.Errorf("scenario: event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (ev Event) validate() error {
+	if badTime(ev.At) {
+		return fmt.Errorf("%s at bad time %v", ev.Kind, ev.At)
+	}
+	switch ev.Kind {
+	case DegradeNIC:
+		if ev.Node < 0 {
+			return fmt.Errorf("degrade_nic: negative node %d", ev.Node)
+		}
+		if !(ev.Factor > 0 && ev.Factor <= 1) {
+			return fmt.Errorf("degrade_nic: factor %v outside (0,1]", ev.Factor)
+		}
+		if _, err := ev.Class.netClass(netsim.RDMA); err != nil {
+			return err
+		}
+	case FailNode, RestoreNode:
+		if ev.Node < 0 {
+			return fmt.Errorf("%s: negative node %d", ev.Kind, ev.Node)
+		}
+	case BackgroundTraffic:
+		if ev.Src < 0 || ev.Dst < 0 {
+			return fmt.Errorf("background_traffic: negative node index")
+		}
+		if ev.Src == ev.Dst {
+			return fmt.Errorf("background_traffic: src and dst are both node %d", ev.Src)
+		}
+		if ev.Gbps < 0 || math.IsNaN(ev.Gbps) || math.IsInf(ev.Gbps, 0) {
+			return fmt.Errorf("background_traffic: bad rate %v Gbps", ev.Gbps)
+		}
+		if ev.Until != 0 && (badTime(ev.Until) || ev.Until <= ev.At) {
+			return fmt.Errorf("background_traffic: until %v not after start %v", ev.Until, ev.At)
+		}
+		if _, err := ev.Class.netClass(netsim.Ether); err != nil {
+			return err
+		}
+	case JoinNodes:
+		if ev.Cluster < 0 {
+			return fmt.Errorf("join_nodes: negative cluster %d", ev.Cluster)
+		}
+		if ev.Count < 1 {
+			return fmt.Errorf("join_nodes: count %d < 1", ev.Count)
+		}
+	default:
+		return fmt.Errorf("unknown kind %q", string(ev.Kind))
+	}
+	return nil
+}
+
+// ordered returns the events sorted by (At, original index): the order
+// both Bind and StateAt apply them in, so the fabric path and the
+// replanning path never disagree about simultaneous events.
+func (s *Scenario) ordered() []Event {
+	evs := append([]Event(nil), s.Events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	return evs
+}
+
+// Load parses a scenario from JSON, rejecting unknown fields, and
+// validates it.
+func Load(r io.Reader) (*Scenario, error) {
+	var s Scenario
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	// Trailing JSON means a concatenated or truncated-then-mended file;
+	// silently taking the first value would drop the user's real events.
+	if dec.More() {
+		return nil, fmt.Errorf("scenario: trailing data after the scenario object")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// LoadFile parses a scenario file.
+func LoadFile(path string) (*Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -35,6 +35,19 @@ type ClusterSpec struct {
 	NICsPerNode int
 	// GbpsPerNIC overrides the per-technology default when positive.
 	GbpsPerNIC float64
+	// Overrides customizes individual nodes, keyed by the node's position
+	// within the cluster (0-based). Scenario replanning uses this to carry
+	// a degraded node's reduced capacity into an effective topology.
+	Overrides map[int]NodeOverride
+}
+
+// NodeOverride replaces one node's NIC capacities; zero fields keep the
+// cluster's values.
+type NodeOverride struct {
+	// GbpsPerNIC overrides the per-RDMA-NIC line rate for this node.
+	GbpsPerNIC float64
+	// EthGbps overrides the Ethernet NIC line rate for this node.
+	EthGbps float64
 }
 
 // Spec describes a whole topology for the builder.
@@ -87,11 +100,26 @@ func Build(spec Spec) (*Topology, error) {
 			return nil, err
 		}
 		for k := 0; k < cs.Nodes; k++ {
+			nodeNICs, ethGbps := nics, eth
+			if ov, ok := cs.Overrides[k]; ok {
+				if ov.GbpsPerNIC < 0 || ov.EthGbps < 0 {
+					return nil, fmt.Errorf("topology: cluster %d node %d override has negative bandwidth", ci, k)
+				}
+				if ov.GbpsPerNIC > 0 && len(nics) > 0 {
+					nodeNICs = make([]NIC, len(nics))
+					for i := range nics {
+						nodeNICs[i] = NIC{Type: nics[i].Type, Gbps: ov.GbpsPerNIC}
+					}
+				}
+				if ov.EthGbps > 0 {
+					ethGbps = ov.EthGbps
+				}
+			}
 			node := &Node{
 				Index:          nodeIdx,
 				Cluster:        ci,
-				NICs:           nics,
-				EthNIC:         NIC{Type: Ethernet, Gbps: eth},
+				NICs:           nodeNICs,
+				EthNIC:         NIC{Type: Ethernet, Gbps: ethGbps},
 				Intra:          intra,
 				MemBytesPerGPU: mem,
 			}

@@ -1,0 +1,98 @@
+package topology
+
+import (
+	"testing"
+)
+
+// FuzzBuildTopology feeds Build arbitrary cluster specs decoded from raw
+// bytes. Build must never panic: it either returns an error or a
+// topology whose §2.4 invariants hold — Validate passes, the global rank
+// numbering rank = G·((Σ_{a<i} f_a)+k)+j round-trips through
+// Topology.Rank, and rebuilding the same spec reproduces the same
+// structural fingerprint.
+func FuzzBuildTopology(f *testing.F) {
+	f.Add([]byte{2, 1, 2, 2, 4, 8, 0, 0})                   // small hybrid
+	f.Add([]byte{1, 0, 1, 1, 1, 1, 1, 1})                   // single eth node
+	f.Add([]byte{3, 1, 4, 2, 2, 0, 6, 16, 100, 3, 200, 25}) // three clusters, overrides
+	f.Add([]byte{})                                         // no clusters: must error, not panic
+	f.Add([]byte{255, 255, 255, 255})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec := decodeSpec(data)
+		topo, err := Build(spec)
+		if err != nil {
+			return
+		}
+		if err := topo.Validate(); err != nil {
+			t.Fatalf("Build returned an invalid topology: %v (spec %+v)", err, spec)
+		}
+		// Rank numbering round trip (§2.4): enumerating devices cluster by
+		// cluster, node by node, local index by local index must agree
+		// with Topology.Rank, and every rank must be dense and ordered.
+		want := 0
+		for ci, c := range topo.Clusters {
+			for k, n := range c.Nodes {
+				for j, d := range n.Devices {
+					if got := topo.Rank(ci, k, j); got != want || d.Rank != want {
+						t.Fatalf("rank numbering broken at cluster %d node %d dev %d: Rank()=%d dev.Rank=%d want %d",
+							ci, k, j, got, d.Rank, want)
+					}
+					if dev := topo.Device(want); dev != d {
+						t.Fatalf("Device(%d) returned a different device", want)
+					}
+					want++
+				}
+			}
+		}
+		if want != topo.NumDevices() {
+			t.Fatalf("enumerated %d devices, topology claims %d", want, topo.NumDevices())
+		}
+		// Deterministic rebuild: equal specs must yield equal fingerprints.
+		topo2, err := Build(spec)
+		if err != nil {
+			t.Fatalf("rebuild of a valid spec failed: %v", err)
+		}
+		if topo.Fingerprint() != topo2.Fingerprint() {
+			t.Fatalf("fingerprint not deterministic:\n%s\n%s", topo.Fingerprint(), topo2.Fingerprint())
+		}
+	})
+}
+
+// decodeSpec maps raw fuzz bytes onto a builder spec, deliberately
+// covering invalid shapes (zero node counts, unknown NIC values, huge
+// GPU counts, negative-ish overrides) so the error paths fuzz too.
+func decodeSpec(data []byte) Spec {
+	next := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+	spec := Spec{
+		GPUsPerNode: int(int8(next())), // may be negative: Build must reject
+		GPUMemBytes: int64(next()) << 28,
+		Intra:       LinkType(next() % 3),
+		EthGbps:     float64(int8(next())),
+	}
+	nClusters := int(next() % 5)
+	for i := 0; i < nClusters; i++ {
+		cs := ClusterSpec{
+			NIC:         NICType(int8(next() % 5)), // includes unknown types
+			Nodes:       int(int8(next())),
+			NICsPerNode: int(int8(next())),
+			GbpsPerNIC:  float64(int8(next())),
+		}
+		if next()%2 == 1 {
+			cs.Overrides = map[int]NodeOverride{
+				int(next() % 8): {
+					GbpsPerNIC: float64(int8(next())),
+					EthGbps:    float64(int8(next())),
+				},
+			}
+		}
+		spec.Clusters = append(spec.Clusters, cs)
+	}
+	return spec
+}

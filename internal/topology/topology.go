@@ -260,7 +260,9 @@ func (t *Topology) Fingerprint() string {
 	for _, c := range t.Clusters {
 		fmt.Fprintf(&b, "|%v:%d", c.NICType, len(c.Nodes))
 		for _, n := range c.Nodes {
-			fmt.Fprintf(&b, ";%v*%dx%.0f:%v:e%.0f:m%d",
+			// %g keeps fractional capacities distinct: degraded effective
+			// topologies carry non-integral Gbps that %.0f would collide.
+			fmt.Fprintf(&b, ";%v*%dx%g:%v:e%g:m%d",
 				n.RDMAType(), len(n.NICs), n.RDMAGbps(), n.Intra, n.EthNIC.Gbps, n.MemBytesPerGPU)
 		}
 	}

@@ -1,0 +1,77 @@
+package trainer
+
+import (
+	"reflect"
+	"testing"
+
+	"holmes/internal/model"
+	"holmes/internal/scenario"
+	"holmes/internal/topology"
+)
+
+func simUnder(t *testing.T, sc *scenario.Scenario) Report {
+	t.Helper()
+	rep, err := Simulate(Config{
+		Topo: topology.HybridEnv(4), Spec: model.Group(1).Spec,
+		TensorSize: 1, PipelineSize: 2, Framework: Holmes,
+		Scenario: sc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// The scenario no-op contract: nil and Scenario{} produce bit-identical
+// reports — binding an empty timeline schedules nothing on the engine.
+func TestEmptyScenarioIsBitIdenticalNoOp(t *testing.T) {
+	base := simUnder(t, nil)
+	empty := simUnder(t, &scenario.Scenario{})
+	if !reflect.DeepEqual(empty, base) {
+		t.Fatalf("empty scenario changed the report:\n%+v\n%+v", empty, base)
+	}
+	// JoinNodes is a fabric no-op by contract: a running iteration cannot
+	// adopt nodes; only replanning sees them.
+	join := simUnder(t, &scenario.Scenario{Events: []scenario.Event{
+		{Kind: scenario.JoinNodes, At: 0, Cluster: 0, Count: 2},
+	}})
+	if join.IterSeconds != base.IterSeconds || join.Throughput != base.Throughput {
+		t.Fatalf("join_nodes perturbed the simulation: %+v vs %+v", join, base)
+	}
+	if join.ScenarioEvents != 1 {
+		t.Fatalf("join event not counted: %d", join.ScenarioEvents)
+	}
+}
+
+// The severity contract: a failed node strictly increases step time; a
+// restore bounded in time costs less than a permanent failure.
+func TestScenarioSeverityOrdering(t *testing.T) {
+	base := simUnder(t, nil)
+	fail := simUnder(t, &scenario.Scenario{Name: "fail", Events: []scenario.Event{
+		{Kind: scenario.FailNode, At: 0, Node: 0},
+	}})
+	if !(fail.IterSeconds > base.IterSeconds) {
+		t.Fatalf("failure did not increase step time: %v vs %v", fail.IterSeconds, base.IterSeconds)
+	}
+	if fail.Scenario != "fail" || fail.ScenarioEvents != 1 {
+		t.Fatalf("scenario not reported: %+v", fail)
+	}
+	// Fail at t=0, restore shortly after: the iteration limps through the
+	// outage then recovers, so it lands strictly between base and fail.
+	flap := simUnder(t, &scenario.Scenario{Events: []scenario.Event{
+		{Kind: scenario.FailNode, At: 0, Node: 0},
+		{Kind: scenario.RestoreNode, At: 0.5, Node: 0},
+	}})
+	if !(flap.IterSeconds > base.IterSeconds && flap.IterSeconds < fail.IterSeconds) {
+		t.Fatalf("flap %.4fs not between base %.4fs and fail %.4fs",
+			flap.IterSeconds, base.IterSeconds, fail.IterSeconds)
+	}
+	// Background traffic on the inter-cluster Ethernet contends with the
+	// pipeline's cross-cluster hop.
+	bg := simUnder(t, &scenario.Scenario{Events: []scenario.Event{
+		{Kind: scenario.BackgroundTraffic, At: 0, Src: 1, Dst: 2, Class: scenario.ClassEther, Gbps: 20},
+	}})
+	if !(bg.IterSeconds > base.IterSeconds) {
+		t.Fatalf("background traffic free: %v vs %v", bg.IterSeconds, base.IterSeconds)
+	}
+}

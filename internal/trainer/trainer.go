@@ -23,6 +23,7 @@ import (
 	"holmes/internal/parallel"
 	"holmes/internal/partition"
 	"holmes/internal/pipeline"
+	"holmes/internal/scenario"
 	"holmes/internal/sim"
 	"holmes/internal/topology"
 )
@@ -51,6 +52,14 @@ type Config struct {
 	// unless an explicit Calib overrides it. Nil means build communicators
 	// ad hoc and use the incremental rebalancer.
 	Engine *engine.Engine
+	// Scenario scripts cluster events (NIC degradation, node failure,
+	// background traffic) onto the iteration's fabric at their simulated
+	// instants, so the report measures step time under the events rather
+	// than on a pristine fabric. Nil or empty is a guaranteed no-op: the
+	// run is bit-identical to one without a scenario. The plan itself
+	// (partition, NIC selection) is made on pre-fault knowledge — reacting
+	// to events is the replanner's job (core.Planner.ReplanOn).
+	Scenario *scenario.Scenario
 }
 
 // Report is the outcome of one simulated iteration.
@@ -72,6 +81,11 @@ type Report struct {
 	ReduceScatterSeconds float64
 	// PipelineSeconds is the pipeline (compute + P2P) portion.
 	PipelineSeconds float64
+	// Scenario labels the event timeline the iteration ran under
+	// (empty = pristine fabric); ScenarioEvents counts the timeline
+	// events that fired before the iteration completed.
+	Scenario       string
+	ScenarioEvents int
 }
 
 // EnvLabel derives the paper's environment name from a topology.
@@ -190,7 +204,19 @@ func Simulate(cfg Config) (Report, error) {
 	eng := sim.NewEngine()
 	fab := netsim.New(eng, cfg.Topo, calib.Net)
 
+	// Bind the scenario before the pipelines so that, at equal instants,
+	// scripted events apply ahead of training events — deterministically.
+	// An empty scenario binds to an inert runtime and schedules nothing.
+	rt, err := cfg.Scenario.Bind(eng, fab)
+	if err != nil {
+		return Report{}, err
+	}
+
 	st := newIterState(eng, fab, assign, world, part, cfg.Spec, opt, calib, m)
+	// When the iteration completes, stop the scenario: open-ended
+	// background traffic and events scripted past the end must not keep
+	// the engine (or the measurement) alive.
+	st.onFinish = rt.Stop
 	sched := pipeline.OneFOneB(p, m)
 	if opt.GPipeSchedule {
 		sched = pipeline.GPipe(p, m)
@@ -249,6 +275,8 @@ func Simulate(cfg Config) (Report, error) {
 		Throughput:           float64(cfg.Spec.GlobalBatch) / iter,
 		ReduceScatterSeconds: st.maxRSTime(),
 		PipelineSeconds:      st.pipeEnd,
+		Scenario:             cfg.Scenario.String(),
+		ScenarioEvents:       rt.Applied(),
 	}
 	return rep, nil
 }
@@ -394,6 +422,10 @@ type iterState struct {
 	pipeEnd   sim.Time
 	endTime   sim.Time
 	doneCount int
+	// onFinish fires once, the moment the iteration completes (all
+	// pipelines flushed and all DP groups stepped); the scenario runtime
+	// hooks it to stop generating events.
+	onFinish func()
 }
 
 type dpGroupState struct {
@@ -502,12 +534,22 @@ func (st *iterState) pipelineDone(now sim.Time) {
 			st.pumpRS(gs)
 		}
 	}
+	st.maybeFinish()
 }
 
 func (st *iterState) groupDone() {
 	st.doneCount++
 	if st.doneCount == len(st.groups) && st.eng.Now() > st.endTime {
 		st.endTime = st.eng.Now()
+	}
+	st.maybeFinish()
+}
+
+func (st *iterState) maybeFinish() {
+	if st.finished() && st.onFinish != nil {
+		fn := st.onFinish
+		st.onFinish = nil
+		fn()
 	}
 }
 
