@@ -10,11 +10,16 @@
 package holmes
 
 import (
+	"bytes"
 	"fmt"
+	"net/http/httptest"
 	"testing"
 
+	"holmes/internal/api"
 	"holmes/internal/experiments"
+	"holmes/internal/loadgen"
 	"holmes/internal/model"
+	"holmes/internal/serve"
 	"holmes/internal/topology"
 	"holmes/internal/trainer"
 )
@@ -207,6 +212,27 @@ func BenchmarkAblationOverlap(b *testing.B) {
 			b.ReportMetric(rep.TFLOPS, "TFLOPS")
 		})
 	}
+}
+
+// BenchmarkPlanBatch measures the serving layer end to end: one
+// 32-item /v1/plan/batch request (distinct Table-3 cells) against a
+// 4-shard in-process server, decoded envelope to encoded response. This
+// is the ns/op the CI perf gate holds against BENCH_serve.json.
+func BenchmarkPlanBatch(b *testing.B) {
+	pool := serve.New(serve.Config{Shards: 4})
+	handler := api.NewServerPool(pool).Handler()
+	body := []byte(loadgen.BatchBody(32, 0))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/plan/batch", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	b.ReportMetric(32, "plans/req")
 }
 
 // BenchmarkPlannerSearch measures the pipeline-degree search itself.

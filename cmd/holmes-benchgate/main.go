@@ -1,0 +1,154 @@
+// Command holmes-benchgate is the CI perf-regression gate: it parses
+// `go test -bench` output, takes the fastest repetition of each gated
+// benchmark (the minimum is the least noisy location estimate on shared
+// runners), compares it to the committed ledger, and exits non-zero when
+// a benchmark regressed by more than the allowed fraction.
+//
+// Usage:
+//
+//	go test -run '^$' -bench '^(BenchmarkTable3|BenchmarkPlanBatch)$' -benchtime 1x -count 5 . | tee bench.txt
+//	holmes-benchgate -max-regress 0.25 < bench.txt
+//	holmes-benchgate -gate BenchmarkTable3=BENCH_baseline.json -gate BenchmarkPlanBatch=BENCH_serve.json < bench.txt
+//
+// Ledgers are the repo's BENCH_*.json documents; the gate reads the
+// `after.ns_per_op` field — the number the recording session measured
+// after its change, i.e. the level later sessions must hold.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// gates maps benchmark name -> ledger path; repeated -gate flags add
+// entries.
+type gates map[string]string
+
+func (g gates) String() string { return fmt.Sprint(map[string]string(g)) }
+
+func (g gates) Set(s string) error {
+	name, path, ok := strings.Cut(s, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("bad -gate %q (want BenchmarkName=ledger.json)", s)
+	}
+	g[name] = path
+	return nil
+}
+
+// ledger is the subset of a BENCH_*.json document the gate reads.
+type ledger struct {
+	After struct {
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"after"`
+}
+
+// parseBench extracts min ns/op per benchmark from `go test -bench`
+// output. Benchmark lines look like
+//
+//	BenchmarkPlanBatch-8   3   98861041 ns/op   32.00 plans/req ...
+//
+// the -8 GOMAXPROCS suffix is stripped, and multiple repetitions (from
+// -count) collapse to their minimum.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	best := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		nsIdx := -1
+		for i, f := range fields {
+			if f == "ns/op" {
+				nsIdx = i - 1
+				break
+			}
+		}
+		if nsIdx < 1 {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[nsIdx], 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if cur, ok := best[name]; !ok || ns < cur {
+			best[name] = ns
+		}
+	}
+	return best, sc.Err()
+}
+
+func main() {
+	g := gates{}
+	maxRegress := flag.Float64("max-regress", 0.25, "allowed fractional ns/op regression vs the ledger")
+	flag.Var(g, "gate", "BenchmarkName=ledger.json (repeatable; default gates Table3 and PlanBatch)")
+	input := flag.String("input", "-", "bench output file (- = stdin)")
+	flag.Parse()
+	if len(g) == 0 {
+		g = gates{
+			"BenchmarkTable3":    "BENCH_baseline.json",
+			"BenchmarkPlanBatch": "BENCH_serve.json",
+		}
+	}
+
+	in := os.Stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "holmes-benchgate:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	measured, err := parseBench(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "holmes-benchgate:", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for name, path := range g {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "holmes-benchgate:", err)
+			os.Exit(2)
+		}
+		var led ledger
+		if err := json.Unmarshal(raw, &led); err != nil || led.After.NsPerOp <= 0 {
+			fmt.Fprintf(os.Stderr, "holmes-benchgate: %s has no usable after.ns_per_op (%v)\n", path, err)
+			os.Exit(2)
+		}
+		got, ok := measured[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "holmes-benchgate: %s not found in bench output\n", name)
+			failed = true
+			continue
+		}
+		limit := led.After.NsPerOp * (1 + *maxRegress)
+		delta := (got - led.After.NsPerOp) / led.After.NsPerOp * 100
+		verdict := "ok"
+		if got > limit {
+			verdict = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-24s measured %14.0f ns/op  ledger %14.0f ns/op  %+6.1f%%  (limit %+.0f%%)  %s\n",
+			name, got, led.After.NsPerOp, delta, *maxRegress*100, verdict)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "holmes-benchgate: perf gate failed")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: holmes
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkTable3 	       1	 193260052 ns/op	        48.00 cells
+BenchmarkTable3 	       1	 210000000 ns/op	        48.00 cells
+BenchmarkPlanBatch-8 	       3	  98861041 ns/op	        32.00 plans/req	33411216 B/op	  648282 allocs/op
+BenchmarkPlanBatch-8 	       3	  95000000 ns/op	        32.00 plans/req	33411216 B/op	  648282 allocs/op
+PASS
+ok  	holmes	1.222s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Minimum across repetitions, GOMAXPROCS suffix stripped.
+	if got["BenchmarkTable3"] != 193260052 {
+		t.Fatalf("Table3 min: %v", got["BenchmarkTable3"])
+	}
+	if got["BenchmarkPlanBatch"] != 95000000 {
+		t.Fatalf("PlanBatch min: %v", got["BenchmarkPlanBatch"])
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks: %v", len(got), got)
+	}
+}
+
+func TestParseBenchIgnoresNoise(t *testing.T) {
+	got, err := parseBench(strings.NewReader("FAIL\nsomething Benchmark-ish\nBenchmarkX 1 notanumber ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("parsed noise as benchmarks: %v", got)
+	}
+}
+
+func TestGateFlagParsing(t *testing.T) {
+	g := gates{}
+	if err := g.Set("BenchmarkTable3=BENCH_baseline.json"); err != nil {
+		t.Fatal(err)
+	}
+	if g["BenchmarkTable3"] != "BENCH_baseline.json" {
+		t.Fatalf("gate map: %v", g)
+	}
+	for _, bad := range []string{"", "NoEquals", "=x", "Name="} {
+		if err := g.Set(bad); err == nil {
+			t.Errorf("accepted bad gate %q", bad)
+		}
+	}
+}

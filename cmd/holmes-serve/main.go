@@ -1,16 +1,23 @@
 // Command holmes-serve exposes the Holmes scheduler as a JSON/HTTP
-// daemon: each request plans on one shared engine concurrently, so many
-// tenants (users, scenarios) can search plans against the same process.
+// daemon built for throughput: requests are admitted through a bounded
+// queue (saturation answers 429 + Retry-After), routed over a pool of
+// independent engine shards by topology fingerprint (cache hits stay
+// shard-local), and identical in-flight plan/search requests are
+// coalesced into one computation.
 //
 // Usage:
 //
 //	holmes-serve -addr :8080
-//	holmes-serve -addr :8080 -workers 16 -cache 1024
+//	holmes-serve -addr :8080 -shards 4 -workers 4 -cache 1024 -max-inflight 64 -max-queue 512
 //
 //	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/v1/stats
 //	curl -s localhost:8080/v1/plan \
 //	  -d '{"env":"Hybrid","nodes":8,"model":{"group":3},"tensor_size":1,"pipeline_size":4}'
 //	curl -s localhost:8080/v1/search -d '{"env":"Hybrid","nodes":8,"model":{"group":3}}'
+//	curl -s localhost:8080/v1/plan/batch \
+//	  -d '{"items":[{"op":"plan","config":{"env":"Hybrid","nodes":8,"model":{"group":3},"tensor_size":1,"pipeline_size":4}},
+//	               {"op":"search","config":{"env":"RoCE","nodes":4,"model":{"group":1}}}]}'
 //	curl -s -X POST localhost:8080/v1/experiments/table1
 //
 // Request bodies use the same JSON schema as cmd/holmes-sim -config
@@ -26,28 +33,39 @@ import (
 	"time"
 
 	"holmes/internal/api"
-	"holmes/internal/engine"
+	"holmes/internal/serve"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "engine worker-pool bound (0 = CPU count)")
-		cache   = flag.Int("cache", 0, "communicator cache entries (0 = default 512, negative = disabled)")
-		oracle  = flag.Bool("full-recompute", false, "simulate on the netsim full-recompute oracle (reference arm)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		shards   = flag.Int("shards", 1, "independent engine shards (requests hash to shards by topology fingerprint)")
+		workers  = flag.Int("workers", 0, "per-shard worker-pool bound (0 = CPU count)")
+		cache    = flag.Int("cache", 0, "per-shard communicator cache entries (0 = default 512, negative = disabled)")
+		inflight = flag.Int("max-inflight", 0, "max concurrently executing requests (0 = max(8, 2x CPU count))")
+		queue    = flag.Int("max-queue", 0, "max requests waiting for admission (0 = 8x max-inflight, negative = none); beyond this the server answers 429")
+		retry    = flag.Duration("retry-after", time.Second, "Retry-After hint attached to 429 responses")
+		resp     = flag.Int("response-cache", 0, "completed-answer LRU entries (0 = default 4096, negative = disabled)")
+		oracle   = flag.Bool("full-recompute", false, "simulate on the netsim full-recompute oracle (reference arm)")
 	)
 	flag.Parse()
 
-	eng := engine.New(engine.Config{
-		Concurrency:   *workers,
-		CacheSize:     *cache,
-		FullRecompute: *oracle,
+	pool := serve.New(serve.Config{
+		Shards:           *shards,
+		ShardConcurrency: *workers,
+		ShardCacheSize:   *cache,
+		FullRecompute:    *oracle,
+		MaxInFlight:      *inflight,
+		MaxQueue:         *queue,
+		RetryAfter:       *retry,
+		ResponseCache:    *resp,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           api.NewServer(eng).Handler(),
+		Handler:           api.NewServerPool(pool).Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	fmt.Printf("holmes-serve %s listening on %s (workers=%d)\n", api.Version, *addr, eng.Concurrency())
+	fmt.Printf("holmes-serve %s listening on %s (shards=%d, workers=%d)\n",
+		api.Version, *addr, pool.Shards(), pool.Concurrency())
 	log.Fatal(srv.ListenAndServe())
 }

@@ -20,10 +20,15 @@
 //	best, err := holmes.SearchPlanOn(eng, topo, spec)  // joint (t, p) search
 //	rows, err := holmes.RunExperimentOn(eng, "table3")
 //
-// The same engine backs cmd/holmes-serve, a JSON/HTTP daemon:
+// cmd/holmes-serve serves the same engine stack over JSON/HTTP through
+// a throughput layer (NewServePool): engine shards routed by topology
+// fingerprint, admission control with 429 backpressure, request
+// coalescing, a response cache, and a batch endpoint:
 //
-//	go run ./cmd/holmes-serve -addr :8080 &
+//	go run ./cmd/holmes-serve -addr :8080 -shards 4 &
 //	curl -s localhost:8080/v1/plan -d '{"env":"Hybrid","nodes":8,"model":{"group":3},"tensor_size":1,"pipeline_size":4}'
+//	curl -s localhost:8080/v1/plan/batch -d '{"items":[{"op":"search","config":{"env":"RoCE","nodes":4,"model":{"group":1}}}]}'
+//	curl -s localhost:8080/v1/stats
 //
 // Scenarios script cluster events — degraded NICs, failed nodes,
 // background traffic — onto the simulation clock, and replanning reacts
@@ -47,6 +52,7 @@ import (
 	"holmes/internal/experiments"
 	"holmes/internal/model"
 	"holmes/internal/scenario"
+	"holmes/internal/serve"
 	"holmes/internal/topology"
 	"holmes/internal/trainer"
 )
@@ -79,6 +85,13 @@ type (
 	Engine = engine.Engine
 	// EngineConfig fixes an Engine's behaviour at construction.
 	EngineConfig = engine.Config
+	// ServePool is the serving layer over engine shards: requests hash to
+	// the shard owning their topology fingerprint, admission is bounded
+	// (shed load answers 429), and identical deterministic requests are
+	// coalesced in flight and replayed from a response cache afterwards.
+	ServePool = serve.Pool
+	// ServeConfig fixes a ServePool's shape at construction.
+	ServeConfig = serve.Config
 	// Scenario is a time-scripted timeline of cluster events (degraded
 	// NICs, failed nodes, background traffic, joining nodes) applied to
 	// a simulation's fabric and folded into replanning decisions.
@@ -136,6 +149,12 @@ func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
 // DefaultEngine returns the shared process-wide engine the engine-less
 // entry points (Plan, AutoPlan, RunExperiment, ...) delegate to.
 func DefaultEngine() *Engine { return engine.Default() }
+
+// NewServePool constructs the sharded serving layer cmd/holmes-serve
+// runs on (see ServePool). Zero config fields take defaults: one shard,
+// max(8, 2×CPU) admitted requests with an 8× queue, a 4096-entry
+// response cache.
+func NewServePool(cfg ServeConfig) *ServePool { return serve.New(cfg) }
 
 // Plan builds a Holmes training plan for the topology with tensor degree
 // t and pipeline degree p, simulating one iteration for its report.
@@ -254,7 +273,7 @@ func Experiments() []string { return append([]string(nil), experiments.Names...)
 func DefaultOptions(fw Framework) Options { return trainer.DefaultOptions(fw) }
 
 // Version identifies the reproduction release.
-const Version = "1.1.0"
+const Version = "1.2.0"
 
 // Describe renders a short summary of a topology (clusters, NICs, GPUs).
 func Describe(topo *Topology) string {

@@ -1,61 +1,146 @@
 // Package api is the JSON/HTTP surface of the Holmes scheduler
-// (cmd/holmes-serve): a thin, stateless handler layer over one shared
-// engine.Engine. Every request plans on the shared engine concurrently —
-// the engine's communicator cache and worker pool are internally
-// synchronized and its knobs are immutable, so requests never interfere
-// (the property the engine refactor bought; see DESIGN.md).
+// (cmd/holmes-serve): a handler layer over a serve.Pool of engine
+// shards. Every request is admitted through the pool's gate (saturation
+// answers 429 with Retry-After), routed to the shard owning its topology
+// fingerprint, and — for deterministic plan/search work — coalesced with
+// identical in-flight requests so duplicate traffic costs one
+// computation (see DESIGN.md decision 8).
 //
 // Routes:
 //
-//	GET  /healthz              liveness + engine cache statistics
+//	GET  /healthz              liveness + engine cache statistics + serving counters
+//	GET  /v1/stats             per-endpoint latency/throughput counters
 //	POST /v1/plan              plan fixed (t, p) degrees
+//	POST /v1/plan/batch        up to 256 heterogeneous plan/search/simulate items
 //	POST /v1/search            joint (t, p) search for the best plan
 //	POST /v1/simulate          one iteration, optionally under a scenario
 //	POST /v1/experiments/{id}  regenerate a paper table/figure
 //
 // Request bodies reuse the config.Config schema of cmd/holmes-sim
 // (clusters or the env/nodes shorthand, model group or explicit
-// architecture, framework, component toggles).
+// architecture, framework, component toggles). Every response — errors
+// included, on every route — is JSON with Content-Type
+// application/json.
 package api
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"holmes/internal/config"
 	"holmes/internal/core"
 	"holmes/internal/engine"
 	"holmes/internal/experiments"
+	"holmes/internal/serve"
 	"holmes/internal/trainer"
 )
 
 // Version identifies the API release (mirrors the facade version).
-const Version = "1.2.0"
+const Version = "1.3.0"
 
-// Server serves the Holmes planning API on one shared engine.
+// Server serves the Holmes planning API on a pool of engine shards.
 type Server struct {
-	eng *engine.Engine
+	pool *serve.Pool
 }
 
-// NewServer returns a server on the given engine (nil = the shared
-// default engine).
+// NewServer returns a single-shard server on the given engine (nil = the
+// shared default engine) — the pre-sharding constructor, kept for
+// embedders that manage their own engine.
 func NewServer(eng *engine.Engine) *Server {
-	if eng == nil {
-		eng = engine.Default()
-	}
-	return &Server{eng: eng}
+	return NewServerPool(serve.FromEngine(eng))
 }
 
-// Handler returns the route table.
+// NewServerPool returns a server on an explicit shard pool (nil = one
+// default pool), the constructor cmd/holmes-serve uses.
+func NewServerPool(p *serve.Pool) *Server {
+	if p == nil {
+		p = serve.New(serve.Config{})
+	}
+	return &Server{pool: p}
+}
+
+// Pool exposes the server's shard pool (observability and tests).
+func (s *Server) Pool() *serve.Pool { return s.pool }
+
+// Handler returns the route table. Routes are registered without method
+// patterns and checked in the instrumentation wrapper, so a wrong method
+// gets a JSON 405 (the stock mux answers text/plain, which breaks
+// clients that unconditionally json-decode error bodies).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("POST /v1/plan", s.handlePlan)
-	mux.HandleFunc("POST /v1/search", s.handleSearch)
-	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
-	mux.HandleFunc("POST /v1/experiments/{id}", s.handleExperiment)
+	mux.HandleFunc("/healthz", s.route(epHealthz, http.MethodGet, false, s.handleHealthz))
+	mux.HandleFunc("/v1/stats", s.route(epStats, http.MethodGet, false, s.handleStats))
+	mux.HandleFunc("/v1/plan", s.route(epPlan, http.MethodPost, true, s.handlePlan))
+	mux.HandleFunc("/v1/plan/batch", s.route(epBatch, http.MethodPost, true, s.handleBatch))
+	mux.HandleFunc("/v1/search", s.route(epSearch, http.MethodPost, true, s.handleSearch))
+	mux.HandleFunc("/v1/simulate", s.route(epSimulate, http.MethodPost, true, s.handleSimulate))
+	mux.HandleFunc("/v1/experiments/{id}", s.route(epExperiments, http.MethodPost, true, s.handleExperiment))
+	mux.HandleFunc("/", s.handleNotFound)
 	return mux
+}
+
+// Endpoint names as they appear in /v1/stats.
+const (
+	epHealthz     = "healthz"
+	epStats       = "stats"
+	epPlan        = "plan"
+	epBatch       = "plan_batch"
+	epSearch      = "search"
+	epSimulate    = "simulate"
+	epExperiments = "experiments"
+)
+
+// statusWriter records the status a handler wrote so the stats layer can
+// classify the outcome.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// route wraps a handler with method enforcement, admission control, and
+// per-endpoint accounting. Observability routes (healthz, stats) skip
+// admission: they must answer even — especially — when the pool is
+// saturated.
+func (s *Server) route(name, method string, admit bool, h http.HandlerFunc) http.HandlerFunc {
+	ep := s.pool.Stats().Endpoint(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		done := ep.Begin()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		defer func() { done(sw.status) }()
+		// HEAD rides along with GET (the stock mux's method patterns allow
+		// it too, and uptime probes health-check with HEAD).
+		if r.Method != method && !(method == http.MethodGet && r.Method == http.MethodHead) {
+			sw.Header().Set("Allow", method)
+			writeError(sw, http.StatusMethodNotAllowed, "method %s not allowed on this endpoint (use %s)", r.Method, method)
+			return
+		}
+		if admit {
+			release, ok := s.pool.Admit(r.Context())
+			if !ok {
+				retry := int(s.pool.RetryAfter().Seconds() + 0.5)
+				if retry < 1 {
+					retry = 1
+				}
+				sw.Header().Set("Retry-After", strconv.Itoa(retry))
+				writeError(sw, http.StatusTooManyRequests, "server saturated: admission queue full, retry after %ds", retry)
+				return
+			}
+			defer release()
+		}
+		h(sw, r)
+	}
+}
+
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusNotFound, "no such endpoint: %s %s", r.Method, r.URL.Path)
 }
 
 // errorBody is the uniform error envelope.
@@ -75,20 +160,82 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
+// apiError carries the HTTP status a failed operation maps to, so the
+// single-request handlers and the batch executor classify errors
+// identically.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func errf(status int, format string, args ...any) *apiError {
+	return &apiError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// errStatus maps an operation error to its HTTP status (500 for anything
+// that did not come through errf — by construction nothing should).
+func errStatus(err error) int {
+	if ae, ok := err.(*apiError); ok {
+		return ae.status
+	}
+	return http.StatusInternalServerError
+}
+
 // HealthResponse reports liveness and engine observability.
 type HealthResponse struct {
-	Status      string            `json:"status"`
-	Version     string            `json:"version"`
-	Concurrency int               `json:"concurrency"`
-	Cache       engine.CacheStats `json:"cache"`
+	Status      string                   `json:"status"`
+	Version     string                   `json:"version"`
+	Shards      int                      `json:"shards"`
+	Concurrency int                      `json:"concurrency"`
+	Cache       engine.CacheStats        `json:"cache"`
+	Responses   serve.ResponseCacheStats `json:"responses"`
+	Serve       serve.StatsSnapshot      `json:"serve"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:      "ok",
 		Version:     Version,
-		Concurrency: s.eng.Concurrency(),
-		Cache:       s.eng.CacheStats(),
+		Shards:      s.pool.Shards(),
+		Concurrency: s.pool.Concurrency(),
+		Cache:       s.pool.CacheStats(),
+		Responses:   s.pool.ResponseCacheStats(),
+		Serve:       s.pool.Stats().Snapshot(),
+	})
+}
+
+// StatsResponse is the outcome of /v1/stats.
+type StatsResponse struct {
+	Version string `json:"version"`
+	Shards  int    `json:"shards"`
+	// InFlight/Queued/Rejected describe the admission gate right now;
+	// per-endpoint counters live under Serve.
+	InFlight int    `json:"in_flight"`
+	Queued   int    `json:"queued"`
+	Rejected uint64 `json:"rejected"`
+	// Canceled counts clients that aborted while waiting for admission —
+	// kept apart from Rejected so rising numbers point at client
+	// timeouts, not an undersized gate.
+	Canceled  uint64                   `json:"canceled"`
+	Cache     engine.CacheStats        `json:"cache"`
+	Responses serve.ResponseCacheStats `json:"responses"`
+	Serve     serve.StatsSnapshot      `json:"serve"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	inFlight, queued, rejected, canceled := s.pool.Gate()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Version:   Version,
+		Shards:    s.pool.Shards(),
+		InFlight:  inFlight,
+		Queued:    queued,
+		Rejected:  rejected,
+		Canceled:  canceled,
+		Cache:     s.pool.CacheStats(),
+		Responses: s.pool.ResponseCacheStats(),
+		Serve:     s.pool.Stats().Snapshot(),
 	})
 }
 
@@ -120,10 +267,10 @@ type PlanResponse struct {
 	CommBytes map[string]float64 `json:"comm_bytes"`
 }
 
-func planResponse(pl *core.Planner, plan *core.Plan) (PlanResponse, error) {
+func planResponse(pl *core.Planner, plan *core.Plan) (*PlanResponse, error) {
 	costs, err := pl.CommunicationCost(plan)
 	if err != nil {
-		return PlanResponse{}, err
+		return nil, err
 	}
 	commBytes := make(map[string]float64, len(costs))
 	for kind, b := range costs {
@@ -133,7 +280,7 @@ func planResponse(pl *core.Planner, plan *core.Plan) (PlanResponse, error) {
 	for _, g := range plan.World.DPGroups {
 		nics[g.NIC.String()]++
 	}
-	return PlanResponse{
+	return &PlanResponse{
 		Degrees:   DegreesJSON{Tensor: plan.Degrees.T, Pipeline: plan.Degrees.P, Data: plan.Degrees.D},
 		Partition: plan.Partition.String(),
 		Report: ReportJSON{
@@ -148,7 +295,8 @@ func planResponse(pl *core.Planner, plan *core.Plan) (PlanResponse, error) {
 	}, nil
 }
 
-// maxBodyBytes bounds a request body; configs are a few hundred bytes.
+// maxBodyBytes bounds a single-request body; configs are a few hundred
+// bytes.
 const maxBodyBytes = 1 << 20
 
 // maxNodes bounds the topology one request may ask the shared daemon to
@@ -161,6 +309,32 @@ const maxNodes = 512
 // scripts are a handful of events.
 const maxScenarioEvents = 256
 
+// checkBounds applies the server-side resource limits to a parsed
+// config; single requests and batch items share it.
+func checkBounds(c *config.Config) error {
+	nodes := c.Nodes
+	for _, cl := range c.Clusters {
+		nodes += cl.Nodes
+	}
+	if nodes > maxNodes {
+		return fmt.Errorf("api: %d nodes exceeds the per-request limit of %d", nodes, maxNodes)
+	}
+	if c.Scenario != nil && len(c.Scenario.Events) > maxScenarioEvents {
+		return fmt.Errorf("api: %d scenario events exceeds the per-request limit of %d", len(c.Scenario.Events), maxScenarioEvents)
+	}
+	return nil
+}
+
+// decodeStatus classifies a request-decoding error: a body that blew the
+// MaxBytesReader limit is 413, anything else is a plain bad request.
+func decodeStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
 // decode parses a config.Config request body strictly and applies the
 // server-side resource bounds.
 func decode(w http.ResponseWriter, r *http.Request) (*config.Config, error) {
@@ -170,26 +344,62 @@ func decode(w http.ResponseWriter, r *http.Request) (*config.Config, error) {
 	if err != nil {
 		return nil, err
 	}
-	nodes := c.Nodes
-	for _, cl := range c.Clusters {
-		nodes += cl.Nodes
-	}
-	if nodes > maxNodes {
-		return nil, fmt.Errorf("api: %d nodes exceeds the per-request limit of %d", nodes, maxNodes)
-	}
-	if c.Scenario != nil && len(c.Scenario.Events) > maxScenarioEvents {
-		return nil, fmt.Errorf("api: %d scenario events exceeds the per-request limit of %d", len(c.Scenario.Events), maxScenarioEvents)
+	if err := checkBounds(c); err != nil {
+		return nil, err
 	}
 	return c, nil
 }
 
-// planner builds a request-scoped planner on the server's shared engine.
-func (s *Server) planner(c *config.Config) (*core.Planner, error) {
+// coalesceKey canonicalizes a parsed config into the single-flight key
+// for op. Two requests that parse to the same configuration — regardless
+// of their wire formatting — share one computation.
+func coalesceKey(op string, c *config.Config) string {
+	b, err := json.Marshal(c)
+	if err != nil {
+		// Config is a plain data struct; Marshal cannot fail. Fall back
+		// to never coalescing rather than panicking in the hot path.
+		return ""
+	}
+	return op + "\x00" + string(b)
+}
+
+// coalesce answers one deterministic operation with at most one
+// computation per distinct (op, config): completed answers replay from
+// the pool's response cache, identical in-flight requests share the
+// leader's result, and only genuinely new work runs fn. Sharers are
+// credited to the endpoint's counters. The resp type parameter keeps the
+// any-typed plumbing out of the callers.
+func coalesce[T any](s *Server, ep string, op string, c *config.Config, fn func() (*T, error)) (*T, error) {
+	key := coalesceKey(op, c)
+	if key == "" {
+		return fn()
+	}
+	if v, ok := s.pool.CachedResponse(key); ok {
+		s.pool.Stats().Endpoint(ep).Cached()
+		return v.(*T), nil
+	}
+	v, coalesced, err := s.pool.Coalesce(key, func() (any, error) { return fn() })
+	if coalesced {
+		s.pool.Stats().Endpoint(ep).Coalesced()
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Only successful answers are cacheable; errors stay cheap to retry
+	// and must not shadow a later feasible answer (they can't — the key
+	// pins the config — but an error cache would still pin allocation).
+	s.pool.StoreResponse(key, v)
+	return v.(*T), nil
+}
+
+// plannerFor builds a request-scoped planner on the shard owning the
+// config's topology.
+func (s *Server) plannerFor(c *config.Config) (*core.Planner, error) {
 	topo, spec, fw, opt, err := c.Components()
 	if err != nil {
 		return nil, err
 	}
-	pl, err := core.NewPlannerOn(s.eng, topo, spec)
+	pl, err := core.NewPlannerOn(s.pool.ShardFor(topo.Fingerprint()), topo, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -198,33 +408,41 @@ func (s *Server) planner(c *config.Config) (*core.Planner, error) {
 	return pl, nil
 }
 
+// runPlan executes one plan request (shared by /v1/plan and batch
+// items). Errors are *apiError carrying the HTTP status.
+func (s *Server) runPlan(ep string, c *config.Config) (*PlanResponse, error) {
+	if c.TensorSize < 1 || c.PipelineSize < 1 {
+		return nil, errf(http.StatusBadRequest, "plan needs tensor_size >= 1 and pipeline_size >= 1 (use /v1/search to search degrees)")
+	}
+	if !c.Scenario.Empty() {
+		return nil, errf(http.StatusBadRequest, "plan evaluates a pristine fabric; use /v1/simulate to run under a scenario")
+	}
+	return coalesce(s, ep, "plan", c, func() (*PlanResponse, error) {
+		pl, err := s.plannerFor(c)
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "%v", err)
+		}
+		plan, err := pl.Plan(c.TensorSize, c.PipelineSize)
+		if err != nil {
+			return nil, errf(http.StatusUnprocessableEntity, "%v", err)
+		}
+		resp, err := planResponse(pl, plan)
+		if err != nil {
+			return nil, errf(http.StatusUnprocessableEntity, "%v", err)
+		}
+		return resp, nil
+	})
+}
+
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	c, err := decode(w, r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, decodeStatus(err), "%v", err)
 		return
 	}
-	if c.TensorSize < 1 || c.PipelineSize < 1 {
-		writeError(w, http.StatusBadRequest, "plan needs tensor_size >= 1 and pipeline_size >= 1 (use /v1/search to search degrees)")
-		return
-	}
-	if !c.Scenario.Empty() {
-		writeError(w, http.StatusBadRequest, "plan evaluates a pristine fabric; use /v1/simulate to run under a scenario")
-		return
-	}
-	pl, err := s.planner(c)
+	resp, err := s.runPlan(epPlan, c)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	plan, err := pl.Plan(c.TensorSize, c.PipelineSize)
-	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
-		return
-	}
-	resp, err := planResponse(pl, plan)
-	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		writeError(w, errStatus(err), "%s", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -242,6 +460,39 @@ type SimulateResponse struct {
 	ScenarioEvents int    `json:"scenario_events,omitempty"`
 }
 
+// runSimulate executes one simulate request (shared by /v1/simulate and
+// batch items). Simulations are deterministic too, so identical in-flight
+// requests coalesce just like plans.
+func (s *Server) runSimulate(ep string, c *config.Config) (*SimulateResponse, error) {
+	if c.TensorSize < 1 || c.PipelineSize < 1 {
+		return nil, errf(http.StatusBadRequest, "simulate needs tensor_size >= 1 and pipeline_size >= 1")
+	}
+	return coalesce(s, ep, "simulate", c, func() (*SimulateResponse, error) {
+		tc, err := c.TrainerConfig()
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "%v", err)
+		}
+		tc.Engine = s.pool.ShardFor(tc.Topo.Fingerprint())
+		rep, err := trainer.Simulate(tc)
+		if err != nil {
+			return nil, errf(http.StatusUnprocessableEntity, "%v", err)
+		}
+		return &SimulateResponse{
+			Degrees:   DegreesJSON{Tensor: rep.Degrees.T, Pipeline: rep.Degrees.P, Data: rep.Degrees.D},
+			Partition: rep.Partition.String(),
+			Report: ReportJSON{
+				TFLOPS:          rep.TFLOPS,
+				Throughput:      rep.Throughput,
+				IterSeconds:     rep.IterSeconds,
+				ReduceScatterMs: rep.ReduceScatterSeconds * 1000,
+				MicroBatches:    rep.Micro,
+			},
+			Scenario:       rep.Scenario,
+			ScenarioEvents: rep.ScenarioEvents,
+		}, nil
+	})
+}
+
 // handleSimulate runs one training iteration — optionally under a
 // scripted scenario — and reports the paper's metrics. Unlike /v1/plan it
 // never builds a Planner: the degrees are the caller's to fix, and the
@@ -249,37 +500,15 @@ type SimulateResponse struct {
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	c, err := decode(w, r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, decodeStatus(err), "%v", err)
 		return
 	}
-	if c.TensorSize < 1 || c.PipelineSize < 1 {
-		writeError(w, http.StatusBadRequest, "simulate needs tensor_size >= 1 and pipeline_size >= 1")
-		return
-	}
-	tc, err := c.TrainerConfig()
+	resp, err := s.runSimulate(epSimulate, c)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, errStatus(err), "%s", err)
 		return
 	}
-	tc.Engine = s.eng
-	rep, err := trainer.Simulate(tc)
-	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, SimulateResponse{
-		Degrees:   DegreesJSON{Tensor: rep.Degrees.T, Pipeline: rep.Degrees.P, Data: rep.Degrees.D},
-		Partition: rep.Partition.String(),
-		Report: ReportJSON{
-			TFLOPS:          rep.TFLOPS,
-			Throughput:      rep.Throughput,
-			IterSeconds:     rep.IterSeconds,
-			ReduceScatterMs: rep.ReduceScatterSeconds * 1000,
-			MicroBatches:    rep.Micro,
-		},
-		Scenario:       rep.Scenario,
-		ScenarioEvents: rep.ScenarioEvents,
-	})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // SearchResponse is the outcome of /v1/search.
@@ -290,39 +519,47 @@ type SearchResponse struct {
 	Cells         []DegreesJSON `json:"cells"`
 }
 
+// runSearch executes one joint-search request (shared by /v1/search and
+// batch items).
+func (s *Server) runSearch(ep string, c *config.Config) (*SearchResponse, error) {
+	if c.TensorSize != 0 || c.PipelineSize != 0 {
+		return nil, errf(http.StatusBadRequest, "search picks tensor_size and pipeline_size itself; omit them (use /v1/plan for fixed degrees)")
+	}
+	if !c.Scenario.Empty() {
+		return nil, errf(http.StatusBadRequest, "search evaluates a pristine fabric; use /v1/simulate to run under a scenario")
+	}
+	return coalesce(s, ep, "search", c, func() (*SearchResponse, error) {
+		pl, err := s.plannerFor(c)
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "%v", err)
+		}
+		space := pl.SearchSpace()
+		best, err := pl.SearchPlan()
+		if err != nil {
+			return nil, errf(http.StatusUnprocessableEntity, "%v", err)
+		}
+		winner, err := planResponse(pl, best)
+		if err != nil {
+			return nil, errf(http.StatusUnprocessableEntity, "%v", err)
+		}
+		resp := &SearchResponse{Winner: *winner, CellsExplored: len(space)}
+		for _, d := range space {
+			resp.Cells = append(resp.Cells, DegreesJSON{Tensor: d.T, Pipeline: d.P, Data: d.D})
+		}
+		return resp, nil
+	})
+}
+
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	c, err := decode(w, r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, decodeStatus(err), "%v", err)
 		return
 	}
-	if c.TensorSize != 0 || c.PipelineSize != 0 {
-		writeError(w, http.StatusBadRequest, "search picks tensor_size and pipeline_size itself; omit them (use /v1/plan for fixed degrees)")
-		return
-	}
-	if !c.Scenario.Empty() {
-		writeError(w, http.StatusBadRequest, "search evaluates a pristine fabric; use /v1/simulate to run under a scenario")
-		return
-	}
-	pl, err := s.planner(c)
+	resp, err := s.runSearch(epSearch, c)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, errStatus(err), "%s", err)
 		return
-	}
-	space := pl.SearchSpace()
-	best, err := pl.SearchPlan()
-	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
-		return
-	}
-	winner, err := planResponse(pl, best)
-	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
-		return
-	}
-	resp := SearchResponse{Winner: winner, CellsExplored: len(space)}
-	for _, d := range space {
-		resp.Cells = append(resp.Cells, DegreesJSON{Tensor: d.T, Pipeline: d.P, Data: d.D})
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -335,13 +572,14 @@ type ExperimentResponse struct {
 
 func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	rows, err := experiments.NewSuite(s.eng).Run(id)
+	if !validExperiment(id) {
+		// Unknown id is a routing miss (404), not a malformed request.
+		writeError(w, http.StatusNotFound, "unknown experiment %q (have %v)", id, experiments.Names)
+		return
+	}
+	rows, err := experiments.NewSuite(s.pool.ShardFor("experiment:" + id)).Run(id)
 	if err != nil {
-		status := http.StatusUnprocessableEntity
-		if !validExperiment(id) {
-			status = http.StatusNotFound
-		}
-		writeError(w, status, "%v", err)
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, ExperimentResponse{Experiment: id, Rows: rows})

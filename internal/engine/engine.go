@@ -230,6 +230,15 @@ type CacheStats struct {
 	Evictions uint64 `json:"evictions"`
 }
 
+// Add accumulates another snapshot into s — the serving layer aggregates
+// per-shard caches into one /healthz figure this way.
+func (s CacheStats) Add(o CacheStats) CacheStats {
+	return CacheStats{
+		Size: s.Size + o.Size, Cap: s.Cap + o.Cap,
+		Hits: s.Hits + o.Hits, Misses: s.Misses + o.Misses, Evictions: s.Evictions + o.Evictions,
+	}
+}
+
 // CacheStats reports cache occupancy and hit/miss/eviction counters
 // (observability for /healthz and the cache tests).
 func (e *Engine) CacheStats() CacheStats {

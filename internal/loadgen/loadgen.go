@@ -1,0 +1,311 @@
+// Package loadgen is the closed-loop load generator behind
+// cmd/holmes-loadgen and the API soak tests: a fixed set of workers
+// fires planning traffic at a holmes-serve instance as fast as the
+// server answers (closed loop — each worker has at most one request in
+// flight), measuring client-side latency and classifying every response.
+//
+// The request corpus is the paper's own workload: every Table-3 cell
+// (parameter group × environment × node count) as a /v1/plan body, the
+// four environments as /v1/search bodies, scenario-carrying /v1/simulate
+// bodies, and /v1/plan/batch envelopes built from distinct plan cells.
+// Backpressure (429) is counted separately from errors: a load test that
+// treats shed load as failure cannot distinguish an overloaded server
+// from a broken one.
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"holmes/internal/experiments"
+	"holmes/internal/metrics"
+)
+
+// Mix weights the request kinds; zero values fall back to the default
+// plan-heavy mix (plan 8 : search 1 : simulate 2 : batch 1).
+type Mix struct {
+	Plan     int `json:"plan"`
+	Search   int `json:"search"`
+	Simulate int `json:"simulate"`
+	Batch    int `json:"batch"`
+}
+
+func (m Mix) normalized() Mix {
+	if m == (Mix{}) {
+		return Mix{Plan: 8, Search: 1, Simulate: 2, Batch: 1}
+	}
+	clamp := func(v int) int {
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	return Mix{Plan: clamp(m.Plan), Search: clamp(m.Search), Simulate: clamp(m.Simulate), Batch: clamp(m.Batch)}
+}
+
+// Options configures one load-generation run.
+type Options struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Workers is the closed-loop client count (0 = 16).
+	Workers int
+	// Duration bounds the run's wall clock (0 = 10s).
+	Duration time.Duration
+	// Mix weights the request kinds.
+	Mix Mix
+	// BatchSize is the item count of each /v1/plan/batch request
+	// (0 = 16, clamped to the distinct plan-cell corpus).
+	BatchSize int
+	// Seed makes the per-worker request sequences reproducible (0 = 1).
+	Seed int64
+	// Client overrides the HTTP client (nil = a default with generous
+	// connection reuse for Workers connections).
+	Client *http.Client
+}
+
+// Result is the JSON report of a run.
+type Result struct {
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	Workers        int     `json:"workers"`
+	// Requests counts completed HTTP round trips; OK / Rejected / Errors
+	// partition them (transport failures land in Errors).
+	Requests uint64 `json:"requests"`
+	OK       uint64 `json:"ok"`
+	// Rejected counts 429 backpressure answers — load shed by design.
+	Rejected uint64 `json:"rejected"`
+	// Errors counts everything else: non-2xx non-429 statuses and
+	// transport failures. A healthy run reports zero.
+	Errors     uint64            `json:"errors"`
+	FirstError string            `json:"first_error,omitempty"`
+	ByKind     map[string]uint64 `json:"by_kind"`
+	// RequestsPerSec is completed round trips per second.
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	// PlanAnswersPerSec counts successful plan answers per second —
+	// /v1/plan responses plus per-item successes of batch requests (the
+	// acceptance metric: a batch of 16 is 16 plan answers, not 1).
+	PlanAnswersPerSec float64 `json:"plan_answers_per_sec"`
+	// Latency is the client-observed per-request latency histogram.
+	Latency metrics.HistogramSnapshot `json:"latency_ms"`
+}
+
+// PlanBodies returns the Table-3 request corpus: one /v1/plan body per
+// (parameter group, environment, node count) cell, t=1 and the paper's
+// pipeline degree. The Table-1 cells are the group-1, 4-node subset.
+func PlanBodies() []string {
+	var bodies []string
+	for group := 1; group <= 4; group++ {
+		for _, env := range []string{"InfiniBand", "RoCE", "Ethernet", "Hybrid"} {
+			for _, nodes := range []int{4, 6, 8} {
+				p := experiments.PipelineSize(group, nodes)
+				bodies = append(bodies, fmt.Sprintf(
+					`{"env":%q,"nodes":%d,"model":{"group":%d},"tensor_size":1,"pipeline_size":%d}`,
+					env, nodes, group, p))
+			}
+		}
+	}
+	return bodies
+}
+
+// SearchBodies returns the /v1/search corpus: the four environments at 4
+// nodes, group 1 (search fans out internally, so a few distinct bodies
+// already keep every shard busy).
+func SearchBodies() []string {
+	var bodies []string
+	for _, env := range []string{"InfiniBand", "RoCE", "Ethernet", "Hybrid"} {
+		bodies = append(bodies, fmt.Sprintf(`{"env":%q,"nodes":4,"model":{"group":1}}`, env))
+	}
+	return bodies
+}
+
+// SimulateBodies returns the /v1/simulate corpus: group-1 cells under a
+// mid-iteration NIC degradation plus rate-capped background traffic —
+// the scenario arm of the serving mix.
+func SimulateBodies() []string {
+	const scenario = `{"name":"loadgen","events":[{"kind":"degrade_nic","at":0.05,"node":0,"factor":0.6},{"kind":"background_traffic","at":0.1,"src":0,"dst":1,"gbps":40,"until":0.5}]}`
+	var bodies []string
+	for _, env := range []string{"InfiniBand", "RoCE", "Ethernet", "Hybrid"} {
+		for _, nodes := range []int{4, 8} {
+			p := experiments.PipelineSize(1, nodes)
+			bodies = append(bodies, fmt.Sprintf(
+				`{"env":%q,"nodes":%d,"model":{"group":1},"tensor_size":1,"pipeline_size":%d,"scenario":%s}`,
+				env, nodes, p, scenario))
+		}
+	}
+	return bodies
+}
+
+// BatchBody builds a /v1/plan/batch envelope of size distinct plan
+// items, offset into the plan corpus (so different calls exercise
+// different cells).
+func BatchBody(size, offset int) string {
+	plans := PlanBodies()
+	if size <= 0 {
+		size = 16
+	}
+	if size > len(plans) {
+		size = len(plans)
+	}
+	items := make([]string, size)
+	for i := 0; i < size; i++ {
+		items[i] = fmt.Sprintf(`{"op":"plan","config":%s}`, plans[(offset+i)%len(plans)])
+	}
+	return `{"items":[` + strings.Join(items, ",") + `]}`
+}
+
+// Run drives the closed loop until Duration elapses and reports the
+// aggregate. It returns an error only for unusable options; server-side
+// failures are data (Result.Errors), not a reason to abort the run.
+func Run(o Options) (Result, error) {
+	if o.BaseURL == "" {
+		return Result{}, fmt.Errorf("loadgen: BaseURL required")
+	}
+	base := strings.TrimRight(o.BaseURL, "/")
+	if o.Workers <= 0 {
+		o.Workers = 16
+	}
+	if o.Duration <= 0 {
+		o.Duration = 10 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	mix := o.Mix.normalized()
+	total := mix.Plan + mix.Search + mix.Simulate + mix.Batch
+	if total == 0 {
+		return Result{}, fmt.Errorf("loadgen: mix selects nothing")
+	}
+	client := o.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        o.Workers * 2,
+			MaxIdleConnsPerHost: o.Workers * 2,
+		}}
+	}
+
+	plans, searches, sims := PlanBodies(), SearchBodies(), SimulateBodies()
+	// Pre-render every batch rotation: building bodies inside the closed
+	// loop would charge client-side formatting to the measured rates.
+	batches := make([]string, len(plans))
+	for i := range batches {
+		batches[i] = BatchBody(o.BatchSize, i)
+	}
+	var (
+		hist        metrics.Histogram
+		requests    atomic.Uint64
+		okCount     atomic.Uint64
+		rejected    atomic.Uint64
+		errCount    atomic.Uint64
+		planAnswers atomic.Uint64
+		kindCounts  sync.Map // string -> *atomic.Uint64
+		firstErr    atomic.Value
+	)
+	countKind := func(kind string) {
+		v, _ := kindCounts.LoadOrStore(kind, new(atomic.Uint64))
+		v.(*atomic.Uint64).Add(1)
+	}
+
+	deadline := time.Now().Add(o.Duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < o.Workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(o.Seed + int64(w)))
+			for time.Now().Before(deadline) {
+				kind, path, body := "plan", "/v1/plan", ""
+				switch pick := rng.Intn(total); {
+				case pick < mix.Plan:
+					body = plans[rng.Intn(len(plans))]
+				case pick < mix.Plan+mix.Search:
+					kind, path = "search", "/v1/search"
+					body = searches[rng.Intn(len(searches))]
+				case pick < mix.Plan+mix.Search+mix.Simulate:
+					kind, path = "simulate", "/v1/simulate"
+					body = sims[rng.Intn(len(sims))]
+				default:
+					kind, path = "batch", "/v1/plan/batch"
+					body = batches[rng.Intn(len(batches))]
+				}
+				t0 := time.Now()
+				resp, err := client.Post(base+path, "application/json", strings.NewReader(body))
+				if err != nil {
+					requests.Add(1)
+					errCount.Add(1)
+					firstErr.CompareAndSwap(nil, fmt.Sprintf("%s: %v", kind, err))
+					continue
+				}
+				payload, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				hist.Observe(time.Since(t0))
+				requests.Add(1)
+				countKind(kind)
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					okCount.Add(1)
+					switch kind {
+					case "plan":
+						planAnswers.Add(1)
+					case "batch":
+						var br struct {
+							Count  int `json:"count"`
+							Errors int `json:"errors"`
+						}
+						if json.Unmarshal(payload, &br) == nil && br.Count > br.Errors {
+							planAnswers.Add(uint64(br.Count - br.Errors))
+						}
+					}
+				case resp.StatusCode == http.StatusTooManyRequests:
+					rejected.Add(1)
+					// Shed load: yield briefly instead of hammering the
+					// full Retry-After (a closed-loop generator that
+					// sleeps 1s per 429 measures its own sleep).
+					time.Sleep(5 * time.Millisecond)
+				default:
+					errCount.Add(1)
+					firstErr.CompareAndSwap(nil, fmt.Sprintf("%s: status %d: %s", kind, resp.StatusCode, truncate(payload, 200)))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	res := Result{
+		ElapsedSeconds: elapsed,
+		Workers:        o.Workers,
+		Requests:       requests.Load(),
+		OK:             okCount.Load(),
+		Rejected:       rejected.Load(),
+		Errors:         errCount.Load(),
+		ByKind:         map[string]uint64{},
+		Latency:        hist.Snapshot(),
+	}
+	if fe, ok := firstErr.Load().(string); ok {
+		res.FirstError = fe
+	}
+	kindCounts.Range(func(k, v any) bool {
+		res.ByKind[k.(string)] = v.(*atomic.Uint64).Load()
+		return true
+	})
+	if elapsed > 0 {
+		res.RequestsPerSec = float64(res.Requests) / elapsed
+		res.PlanAnswersPerSec = float64(planAnswers.Load()) / elapsed
+	}
+	return res, nil
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) <= n {
+		return string(b)
+	}
+	return string(b[:n]) + "..."
+}

@@ -1,0 +1,149 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeServer answers the four endpoints with canned responses so the
+// generator's accounting can be tested without the real planner: /v1/plan
+// alternates 200 and 429, /v1/search 200, /v1/simulate 500, and the batch
+// endpoint reports 16 items with 2 failures.
+func fakeServer(t *testing.T) (*httptest.Server, *atomic.Uint64) {
+	t.Helper()
+	var planHits atomic.Uint64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/plan", func(w http.ResponseWriter, r *http.Request) {
+		if planHits.Add(1)%4 == 0 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"saturated"}`))
+			return
+		}
+		w.Write([]byte(`{"degrees":{"tensor":1,"pipeline":2,"data":16}}`))
+	})
+	mux.HandleFunc("/v1/search", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"winner":{}}`))
+	})
+	mux.HandleFunc("/v1/simulate", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	})
+	mux.HandleFunc("/v1/plan/batch", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"count":16,"errors":2,"results":[]}`))
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, &planHits
+}
+
+func TestRunAccounting(t *testing.T) {
+	srv, _ := fakeServer(t)
+	res, err := Run(Options{
+		BaseURL:  srv.URL,
+		Workers:  4,
+		Duration: 300 * time.Millisecond,
+		Mix:      Mix{Plan: 2, Search: 1, Simulate: 1, Batch: 1},
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if res.Requests != res.OK+res.Rejected+res.Errors {
+		t.Fatalf("partition broken: %d != %d+%d+%d", res.Requests, res.OK, res.Rejected, res.Errors)
+	}
+	// The fake simulate endpoint always fails: errors must be counted and
+	// the first one captured.
+	if res.ByKind["simulate"] > 0 && (res.Errors == 0 || res.FirstError == "") {
+		t.Fatalf("simulate failures not accounted: %+v", res)
+	}
+	// Every 4th plan answers 429: rejected must be nonzero given enough
+	// plan traffic, and never counted as an error.
+	if res.ByKind["plan"] >= 8 && res.Rejected == 0 {
+		t.Fatalf("backpressure not accounted: %+v", res)
+	}
+	if res.RequestsPerSec <= 0 || res.ElapsedSeconds <= 0 {
+		t.Fatalf("rates not populated: %+v", res)
+	}
+	if res.Latency.Count != res.Requests {
+		// Transport errors skip the histogram; the fake server never
+		// fails transport, so the counts must line up.
+		t.Fatalf("latency samples %d != requests %d", res.Latency.Count, res.Requests)
+	}
+	// Batch successes contribute count-errors plan answers each.
+	if res.ByKind["batch"] > 0 && res.PlanAnswersPerSec == 0 {
+		t.Fatalf("batch plan answers not accounted: %+v", res)
+	}
+	// The report must be JSON-serializable as the CLI emits it.
+	if _, err := json.MarshalIndent(res, "", "  "); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDeterministicCorpus(t *testing.T) {
+	plans := PlanBodies()
+	if len(plans) != 48 {
+		t.Fatalf("plan corpus %d bodies, want 48 (Table-3 grid)", len(plans))
+	}
+	seen := map[string]bool{}
+	for _, b := range plans {
+		if seen[b] {
+			t.Fatalf("duplicate plan body: %s", b)
+		}
+		seen[b] = true
+		if !strings.Contains(b, `"tensor_size":1`) {
+			t.Fatalf("plan body without degrees: %s", b)
+		}
+	}
+	if got := len(SearchBodies()); got != 4 {
+		t.Fatalf("search corpus %d bodies, want 4", got)
+	}
+	for _, b := range SimulateBodies() {
+		if !strings.Contains(b, `"scenario"`) {
+			t.Fatalf("simulate body without scenario: %s", b)
+		}
+	}
+	// Batch bodies are valid envelopes with distinct items.
+	var env struct {
+		Items []struct {
+			Op     string          `json:"op"`
+			Config json.RawMessage `json:"config"`
+		} `json:"items"`
+	}
+	body := BatchBody(16, 3)
+	if err := json.Unmarshal([]byte(body), &env); err != nil {
+		t.Fatalf("batch body not JSON: %v", err)
+	}
+	if len(env.Items) != 16 {
+		t.Fatalf("batch body %d items, want 16", len(env.Items))
+	}
+	itemSeen := map[string]bool{}
+	for _, it := range env.Items {
+		if it.Op != "plan" || itemSeen[string(it.Config)] {
+			t.Fatalf("batch items not distinct plans: %s", body)
+		}
+		itemSeen[string(it.Config)] = true
+	}
+	// Offsets rotate the corpus.
+	if BatchBody(16, 0) == BatchBody(16, 1) {
+		t.Fatal("batch offset has no effect")
+	}
+}
+
+func TestRunOptionValidation(t *testing.T) {
+	if _, err := Run(Options{}); err == nil {
+		t.Fatal("missing BaseURL accepted")
+	}
+	if _, err := Run(Options{BaseURL: "http://127.0.0.1:1", Mix: Mix{Plan: -1, Search: -2, Simulate: -3, Batch: -4}}); err == nil {
+		// All-negative weights normalize to... nothing; must refuse
+		// rather than spin forever.
+		t.Fatal("empty mix accepted")
+	}
+}

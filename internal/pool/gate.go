@@ -1,0 +1,79 @@
+package pool
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Gate is the admission controller of the serving layer: at most
+// maxInFlight callers hold the gate at once, at most maxQueue more wait
+// for a slot, and everything beyond that is rejected immediately so the
+// caller can shed load (HTTP 429) instead of letting latency grow without
+// bound. It lives next to Run because both express the same policy —
+// bounded concurrency with explicit hand-off — at the two layers that
+// need it (request admission and cell fan-out).
+type Gate struct {
+	slots    chan struct{}
+	maxQueue int64
+	queued   atomic.Int64
+	rejected atomic.Uint64
+	canceled atomic.Uint64
+}
+
+// NewGate builds a gate admitting maxInFlight concurrent holders
+// (clamped to >= 1) with a wait queue of maxQueue (clamped to >= 0).
+func NewGate(maxInFlight, maxQueue int) *Gate {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Gate{slots: make(chan struct{}, maxInFlight), maxQueue: int64(maxQueue)}
+}
+
+// Enter tries to acquire an admission slot: immediately if one is free,
+// otherwise by waiting in the queue when it has room. It returns false —
+// without blocking — when both the slots and the queue are full, and when
+// ctx is done before a slot frees. Every true return must be paired with
+// Leave.
+func (g *Gate) Enter(ctx context.Context) bool {
+	select {
+	case g.slots <- struct{}{}:
+		return true
+	default:
+	}
+	if g.queued.Add(1) > g.maxQueue {
+		g.queued.Add(-1)
+		g.rejected.Add(1)
+		return false
+	}
+	defer g.queued.Add(-1)
+	select {
+	case g.slots <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		// The client gave up while the queue still had room — that is an
+		// abort, not saturation, and must not inflate the backpressure
+		// counter an operator sizes the gate by.
+		g.canceled.Add(1)
+		return false
+	}
+}
+
+// Leave releases a slot acquired by a successful Enter.
+func (g *Gate) Leave() { <-g.slots }
+
+// InFlight reports the number of currently admitted holders.
+func (g *Gate) InFlight() int { return len(g.slots) }
+
+// Queued reports the number of callers waiting for a slot.
+func (g *Gate) Queued() int { return int(g.queued.Load()) }
+
+// Rejected reports the Enter calls turned away because slots and queue
+// were both full (true saturation).
+func (g *Gate) Rejected() uint64 { return g.rejected.Load() }
+
+// Canceled reports the Enter calls abandoned by their own context while
+// waiting in the queue (client aborts, not saturation).
+func (g *Gate) Canceled() uint64 { return g.canceled.Load() }

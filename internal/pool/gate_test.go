@@ -1,0 +1,136 @@
+package pool
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGateImmediateAdmission(t *testing.T) {
+	g := NewGate(2, 0)
+	ctx := context.Background()
+	if !g.Enter(ctx) || !g.Enter(ctx) {
+		t.Fatal("free slots must admit immediately")
+	}
+	if g.InFlight() != 2 {
+		t.Fatalf("in-flight %d, want 2", g.InFlight())
+	}
+	// Slots and queue both full: reject without blocking.
+	if g.Enter(ctx) {
+		t.Fatal("saturated gate admitted a caller")
+	}
+	if g.Rejected() != 1 {
+		t.Fatalf("rejected %d, want 1", g.Rejected())
+	}
+	g.Leave()
+	if !g.Enter(ctx) {
+		t.Fatal("freed slot must re-admit")
+	}
+	g.Leave()
+	g.Leave()
+	if g.InFlight() != 0 {
+		t.Fatalf("in-flight %d after full drain", g.InFlight())
+	}
+}
+
+func TestGateQueueHandsOff(t *testing.T) {
+	g := NewGate(1, 1)
+	ctx := context.Background()
+	if !g.Enter(ctx) {
+		t.Fatal("first enter")
+	}
+	admitted := make(chan bool, 1)
+	go func() { admitted <- g.Enter(ctx) }()
+	// Wait for the goroutine to be queued, then release the slot: the
+	// waiter must be admitted.
+	for i := 0; g.Queued() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if g.Queued() != 1 {
+		t.Fatalf("queued %d, want 1", g.Queued())
+	}
+	// A third caller overflows the queue and is rejected immediately.
+	if g.Enter(ctx) {
+		t.Fatal("queue overflow admitted")
+	}
+	g.Leave()
+	if !<-admitted {
+		t.Fatal("queued caller was not admitted after Leave")
+	}
+	g.Leave()
+}
+
+func TestGateContextCancel(t *testing.T) {
+	g := NewGate(1, 4)
+	if !g.Enter(context.Background()) {
+		t.Fatal("first enter")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan bool, 1)
+	go func() { done <- g.Enter(ctx) }()
+	for i := 0; g.Queued() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if <-done {
+		t.Fatal("cancelled waiter was admitted")
+	}
+	if g.Queued() != 0 {
+		t.Fatalf("queued %d after cancel, want 0", g.Queued())
+	}
+	// A client abort is not saturation: it lands in Canceled, never in
+	// Rejected (the counter operators size the gate by).
+	if g.Canceled() != 1 || g.Rejected() != 0 {
+		t.Fatalf("canceled %d rejected %d, want 1/0", g.Canceled(), g.Rejected())
+	}
+	g.Leave()
+}
+
+func TestGateClamps(t *testing.T) {
+	g := NewGate(0, -5) // clamped to 1 slot, 0 queue
+	if !g.Enter(context.Background()) {
+		t.Fatal("clamped gate must admit one")
+	}
+	if g.Enter(context.Background()) {
+		t.Fatal("clamped gate admitted two")
+	}
+	g.Leave()
+}
+
+// TestGateConcurrencyBound is the -race arm: the in-flight count never
+// exceeds the bound, and every admitted caller completes.
+func TestGateConcurrencyBound(t *testing.T) {
+	const bound = 4
+	g := NewGate(bound, 1024)
+	var cur, peak, admitted atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if !g.Enter(context.Background()) {
+				return
+			}
+			defer g.Leave()
+			admitted.Add(1)
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+		}()
+	}
+	wg.Wait()
+	if peak.Load() > bound {
+		t.Fatalf("peak in-flight %d exceeds bound %d", peak.Load(), bound)
+	}
+	if admitted.Load() != 64 {
+		t.Fatalf("admitted %d of 64 (queue was large enough for all)", admitted.Load())
+	}
+}

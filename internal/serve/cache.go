@@ -1,0 +1,126 @@
+package serve
+
+import "sync"
+
+// Response cache: planning is deterministic and engines are immutable
+// after construction, so a completed (op, config) answer can be replayed
+// verbatim to every later identical request. Coalescing dedupes identical
+// requests while one is in flight; this LRU dedupes them after it lands —
+// together they make repeat traffic (the common case for a planning
+// service: many users asking about the same clusters and models) cost one
+// computation. Values are the response structs the API layer marshals;
+// they are shared and must be treated as read-only, the same contract the
+// engine's world cache already imposes.
+
+// DefaultResponseCacheSize bounds the response cache when
+// Config.ResponseCache is zero.
+const DefaultResponseCacheSize = 4096
+
+// respEntry is one cache node of the doubly-linked recency list.
+type respEntry struct {
+	key        string
+	val        any
+	prev, next *respEntry
+}
+
+// respCache is a bounded LRU from canonical request key to response.
+type respCache struct {
+	mu         sync.Mutex
+	cap        int
+	m          map[string]*respEntry
+	head, tail *respEntry
+
+	hits, misses, evictions uint64
+}
+
+func (c *respCache) init(capacity int) {
+	c.cap = capacity
+	c.m = make(map[string]*respEntry, min(capacity, 1024))
+}
+
+func (c *respCache) get(key string) (any, bool) {
+	if c.cap == 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	if c.head != e {
+		c.unlink(e)
+		c.pushFront(e)
+	}
+	return e.val, true
+}
+
+func (c *respCache) put(key string, val any) {
+	if c.cap == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[key]; ok {
+		// A concurrent miss computed the same answer; keep the first.
+		if c.head != e {
+			c.unlink(e)
+			c.pushFront(e)
+		}
+		return
+	}
+	if len(c.m) >= c.cap {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.m, lru.key)
+		c.evictions++
+	}
+	e := &respEntry{key: key, val: val}
+	c.m[key] = e
+	c.pushFront(e)
+}
+
+func (c *respCache) pushFront(e *respEntry) {
+	e.prev, e.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *respCache) unlink(e *respEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// ResponseCacheStats is a point-in-time snapshot of the response cache.
+type ResponseCacheStats struct {
+	Size      int    `json:"size"`
+	Cap       int    `json:"cap"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+func (c *respCache) stats() ResponseCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ResponseCacheStats{
+		Size: len(c.m), Cap: c.cap,
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"holmes/internal/metrics"
+)
+
+// Stats aggregates per-endpoint serving counters. Endpoints register
+// lazily on first use; counting on the hot path is atomic increments and
+// one histogram observation.
+type Stats struct {
+	start time.Time
+	mu    sync.Mutex
+	eps   map[string]*Endpoint
+}
+
+func newStats() *Stats {
+	return &Stats{start: time.Now(), eps: make(map[string]*Endpoint)}
+}
+
+// Endpoint returns (creating on first use) the counter set for name.
+func (s *Stats) Endpoint(name string) *Endpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ep, ok := s.eps[name]
+	if !ok {
+		ep = &Endpoint{}
+		s.eps[name] = ep
+	}
+	return ep
+}
+
+// Endpoint carries one route's counters.
+type Endpoint struct {
+	requests  atomic.Uint64
+	errors    atomic.Uint64
+	rejected  atomic.Uint64
+	coalesced atomic.Uint64
+	cached    atomic.Uint64
+	inFlight  atomic.Int64
+	latency   metrics.Histogram
+}
+
+// Begin marks a request in flight and returns the completion callback:
+// call it with the response status once the handler is done. Rejected
+// (429) requests count separately from errors — backpressure is the
+// system working, not the system failing.
+func (e *Endpoint) Begin() func(status int) {
+	e.inFlight.Add(1)
+	start := time.Now()
+	return func(status int) {
+		e.inFlight.Add(-1)
+		e.requests.Add(1)
+		e.latency.Observe(time.Since(start))
+		switch {
+		case status == 429:
+			e.rejected.Add(1)
+		case status >= 400:
+			e.errors.Add(1)
+		}
+	}
+}
+
+// Coalesced counts one request answered by sharing another request's
+// in-flight computation.
+func (e *Endpoint) Coalesced() { e.coalesced.Add(1) }
+
+// Cached counts one request replayed from the completed-response cache.
+func (e *Endpoint) Cached() { e.cached.Add(1) }
+
+// EndpointSnapshot is the JSON shape of one endpoint's counters.
+type EndpointSnapshot struct {
+	Requests  uint64 `json:"requests"`
+	Errors    uint64 `json:"errors"`
+	Rejected  uint64 `json:"rejected"`
+	Coalesced uint64 `json:"coalesced,omitempty"`
+	Cached    uint64 `json:"cached,omitempty"`
+	InFlight  int64  `json:"in_flight"`
+	// ThroughputRPS is completed requests per second of server uptime.
+	ThroughputRPS float64                   `json:"throughput_rps"`
+	Latency       metrics.HistogramSnapshot `json:"latency_ms"`
+}
+
+// StatsSnapshot is the JSON shape of GET /v1/stats and the serve block
+// of /healthz.
+type StatsSnapshot struct {
+	UptimeSeconds float64                     `json:"uptime_seconds"`
+	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
+}
+
+// Snapshot captures every endpoint's counters at one instant.
+func (s *Stats) Snapshot() StatsSnapshot {
+	uptime := time.Since(s.start).Seconds()
+	s.mu.Lock()
+	eps := make(map[string]*Endpoint, len(s.eps))
+	for name, ep := range s.eps {
+		eps[name] = ep
+	}
+	s.mu.Unlock()
+
+	snap := StatsSnapshot{UptimeSeconds: uptime, Endpoints: make(map[string]EndpointSnapshot, len(eps))}
+	for name, ep := range eps {
+		reqs := ep.requests.Load()
+		es := EndpointSnapshot{
+			Requests:  reqs,
+			Errors:    ep.errors.Load(),
+			Rejected:  ep.rejected.Load(),
+			Coalesced: ep.coalesced.Load(),
+			Cached:    ep.cached.Load(),
+			InFlight:  ep.inFlight.Load(),
+			Latency:   ep.latency.Snapshot(),
+		}
+		if uptime > 0 {
+			es.ThroughputRPS = float64(reqs) / uptime
+		}
+		snap.Endpoints[name] = es
+	}
+	return snap
+}
