@@ -34,10 +34,11 @@ func reportRows(b *testing.B, rows []ExperimentRow) {
 
 func benchExperiment(b *testing.B, id string) []ExperimentRow {
 	b.Helper()
+	suite := experiments.NewSuite(nil)
 	var rows []ExperimentRow
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.Run(id)
+		rows, err = suite.Run(id)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -233,6 +234,30 @@ func BenchmarkPlanBatch(b *testing.B) {
 		}
 	}
 	b.ReportMetric(32, "plans/req")
+}
+
+// BenchmarkFleetSchedule measures the fleet scheduler end to end: one
+// replay of the canonical 12-job trace (10-node IB/RoCE/Ethernet fleet,
+// mid-run node failure, degrade, restore) — carve, score, place,
+// evict, requeue — on one engine. This is the ns/op the CI perf gate
+// holds against BENCH_fleet.json.
+func BenchmarkFleetSchedule(b *testing.B) {
+	tr, err := LoadFleetTrace("internal/fleet/testdata/fleet12.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := NewEngine(EngineConfig{})
+	b.ResetTimer()
+	var sched *FleetSchedule
+	for i := 0; i < b.N; i++ {
+		sched, err = ReplayFleetOn(eng, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(sched.Jobs)), "jobs")
+	b.ReportMetric(sched.Makespan, "makespan-s")
+	b.ReportMetric(100*sched.Utilization, "util-%")
 }
 
 // BenchmarkPlannerSearch measures the pipeline-degree search itself.

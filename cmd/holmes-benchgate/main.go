@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench '^(BenchmarkTable3|BenchmarkPlanBatch)$' -benchtime 1x -count 5 . | tee bench.txt
+//	go test -run '^$' -bench '^(BenchmarkTable3|BenchmarkPlanBatch|BenchmarkFleetSchedule)$' -benchtime 1x -count 5 . | tee bench.txt
 //	holmes-benchgate -max-regress 0.25 < bench.txt
 //	holmes-benchgate -gate BenchmarkTable3=BENCH_baseline.json -gate BenchmarkPlanBatch=BENCH_serve.json < bench.txt
 //
@@ -93,13 +93,14 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 func main() {
 	g := gates{}
 	maxRegress := flag.Float64("max-regress", 0.25, "allowed fractional ns/op regression vs the ledger")
-	flag.Var(g, "gate", "BenchmarkName=ledger.json (repeatable; default gates Table3 and PlanBatch)")
+	flag.Var(g, "gate", "BenchmarkName=ledger.json (repeatable; default gates Table3, PlanBatch, and FleetSchedule)")
 	input := flag.String("input", "-", "bench output file (- = stdin)")
 	flag.Parse()
 	if len(g) == 0 {
 		g = gates{
-			"BenchmarkTable3":    "BENCH_baseline.json",
-			"BenchmarkPlanBatch": "BENCH_serve.json",
+			"BenchmarkTable3":        "BENCH_baseline.json",
+			"BenchmarkPlanBatch":     "BENCH_serve.json",
+			"BenchmarkFleetSchedule": "BENCH_fleet.json",
 		}
 	}
 

@@ -38,6 +38,14 @@
 //	rep, err := holmes.SimulateUnder(topo, spec, 1, 4, holmes.FrameworkHolmes, sc)
 //	fix, err := holmes.Replan(topo, spec, sc)  // excludes the failed node
 //
+// A fleet schedules many jobs contending for one shared topology:
+// NIC-affine slices carved per job (topology.Carve re-derives the §2.4
+// rank numbering), FIFO + backfill, deterministic replay:
+//
+//	tr, err := holmes.LoadFleetTrace("trace.json")
+//	sched, err := holmes.ReplayFleet(tr)  // placements, makespan, utilization
+//	curl -s localhost:8080/v1/jobs -d '{"fleet":{"env":"Hybrid","nodes":8},"job":{"id":"a","gpus":16,"model":{"group":1}}}'
+//
 // The heavy lifting lives in the internal packages (topology, netsim,
 // parallel, partition, pipeline, comm, trainer, core, engine, api); this
 // package re-exports the stable surface.
@@ -47,9 +55,11 @@ import (
 	"fmt"
 	"math"
 
+	"holmes/internal/config"
 	"holmes/internal/core"
 	"holmes/internal/engine"
 	"holmes/internal/experiments"
+	"holmes/internal/fleet"
 	"holmes/internal/model"
 	"holmes/internal/scenario"
 	"holmes/internal/serve"
@@ -101,6 +111,26 @@ type (
 	// ReplanReport compares the pre-fault plan, its performance under a
 	// scenario, and the replanned configuration on the effective topology.
 	ReplanReport = core.Replan
+	// FleetTrace is a replayable multi-job workload over one shared fleet
+	// topology: the fleet spec, an optional scenario, and arriving jobs.
+	FleetTrace = fleet.Trace
+	// FleetSpec names the shared fleet topology of a trace (env/nodes
+	// shorthand or explicit clusters).
+	FleetSpec = fleet.Spec
+	// FleetJob is one training job contending for the fleet.
+	FleetJob = fleet.Job
+	// FleetModel picks a fleet job's model: a Table-2 parameter group or
+	// an explicit architecture (the serve API's model schema).
+	FleetModel = config.ModelConfig
+	// FleetSchedule is the deterministic outcome of replaying a trace:
+	// per-job placements, makespan, utilization.
+	FleetSchedule = fleet.Schedule
+	// FleetPlacement is one job's slot in a fleet schedule.
+	FleetPlacement = fleet.Placement
+	// FleetManager is the concurrent fleet front end the serve API uses:
+	// submit, poll, and cancel jobs; every observer reads the
+	// deterministic schedule of the live job set.
+	FleetManager = fleet.Manager
 )
 
 // NIC technologies.
@@ -254,8 +284,40 @@ func ReplanOn(eng *Engine, topo *Topology, spec ModelSpec, sc *Scenario) (*Repla
 	return pl.ReplanOn(sc, math.Inf(1))
 }
 
+// ReplayFleet schedules a multi-job trace over its shared fleet
+// topology: NIC-affine carved slices, engine-backed joint (t, p) plan
+// search per slice, FIFO + backfill with deterministic tie-breaking.
+// The same trace always produces the identical schedule.
+func ReplayFleet(tr *FleetTrace) (*FleetSchedule, error) { return ReplayFleetOn(nil, tr) }
+
+// ReplayFleetOn is ReplayFleet on an explicit engine (nil = the shared
+// default).
+func ReplayFleetOn(eng *Engine, tr *FleetTrace) (*FleetSchedule, error) {
+	return fleet.Replay(eng, tr)
+}
+
+// LoadFleetTrace parses and validates a fleet trace JSON file.
+func LoadFleetTrace(path string) (*FleetTrace, error) {
+	tr, err := fleet.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// NewFleetManager builds the concurrent fleet front end over one shared
+// topology (nil engine = the shared default) — submit/poll/cancel from
+// any number of goroutines, deterministic schedule at every instant.
+func NewFleetManager(eng *Engine, topo *Topology) (*FleetManager, error) {
+	return fleet.NewManager(eng, topo)
+}
+
 // RunExperiment regenerates a paper table or figure by id: "table1",
-// "table3", "table4", "fig4", "fig5", "fig6", "fig7".
+// "table3", "table4", "fig4", "fig5", "fig6", "fig7", plus the
+// beyond-paper "scenarios" and "fleet" grids.
 func RunExperiment(id string) ([]ExperimentRow, error) {
 	return RunExperimentOn(nil, id)
 }
@@ -273,7 +335,7 @@ func Experiments() []string { return append([]string(nil), experiments.Names...)
 func DefaultOptions(fw Framework) Options { return trainer.DefaultOptions(fw) }
 
 // Version identifies the reproduction release.
-const Version = "1.2.0"
+const Version = "1.3.0"
 
 // Describe renders a short summary of a topology (clusters, NICs, GPUs).
 func Describe(topo *Topology) string {

@@ -75,8 +75,66 @@ func TestRunExperimentDispatch(t *testing.T) {
 	if _, err := RunExperiment("bogus"); err == nil {
 		t.Fatal("bogus experiment accepted")
 	}
-	if len(Experiments()) != 8 {
+	if len(Experiments()) != 9 {
 		t.Fatalf("experiment list = %v", Experiments())
+	}
+}
+
+func TestFleetFacade(t *testing.T) {
+	tr := &FleetTrace{
+		Fleet: FleetSpec{Env: "Hybrid", Nodes: 4},
+		Jobs: []FleetJob{
+			{ID: "a", GPUs: 16, Model: FleetModel{Group: 1}},
+			{ID: "b", GPUs: 16, Model: FleetModel{Group: 2}},
+		},
+	}
+	sched, err := ReplayFleet(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Jobs) != 2 || sched.Makespan <= 0 {
+		t.Fatalf("fleet schedule: %+v", sched)
+	}
+	// The degenerate fleet equals the single-job planner.
+	solo, err := ReplayFleet(&FleetTrace{
+		Fleet: FleetSpec{Env: "Hybrid", Nodes: 4},
+		Jobs:  []FleetJob{{ID: "solo", GPUs: 32, Model: FleetModel{Group: 1}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := SearchPlan(Hybrid(4), ParameterGroup(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.Jobs[0].Throughput != best.Report.Throughput {
+		t.Fatalf("solo fleet job (%v samples/s) diverged from SearchPlan (%v)",
+			solo.Jobs[0].Throughput, best.Report.Throughput)
+	}
+	// Carve is part of the public topology surface.
+	slice, err := Hybrid(4).Carve([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slice.NumNodes() != 2 || slice.NumDevices() != 16 {
+		t.Fatalf("carved slice: %s", Describe(slice))
+	}
+	// The concurrent manager agrees with the batch replay.
+	mgr, err := NewFleetManager(nil, Hybrid(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range tr.Jobs {
+		if err := mgr.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	viaMgr, err := mgr.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaMgr.Makespan != sched.Makespan {
+		t.Fatalf("manager makespan %v, replay makespan %v", viaMgr.Makespan, sched.Makespan)
 	}
 }
 

@@ -15,6 +15,9 @@
 //	POST /v1/search            joint (t, p) search for the best plan
 //	POST /v1/simulate          one iteration, optionally under a scenario
 //	POST /v1/experiments/{id}  regenerate a paper table/figure
+//	POST /v1/jobs              submit a job to the fleet scheduler
+//	GET  /v1/jobs              every fleet's deterministic schedule
+//	GET  /v1/jobs/{id}         one job's placement  (DELETE cancels)
 //
 // Request bodies reuse the config.Config schema of cmd/holmes-sim
 // (clusters or the env/nodes shorthand, model group or explicit
@@ -28,7 +31,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
+	"strings"
 
 	"holmes/internal/config"
 	"holmes/internal/core"
@@ -39,11 +44,12 @@ import (
 )
 
 // Version identifies the API release (mirrors the facade version).
-const Version = "1.3.0"
+const Version = "1.4.0"
 
 // Server serves the Holmes planning API on a pool of engine shards.
 type Server struct {
-	pool *serve.Pool
+	pool   *serve.Pool
+	fleets fleetRegistry
 }
 
 // NewServer returns a single-shard server on the given engine (nil = the
@@ -59,7 +65,9 @@ func NewServerPool(p *serve.Pool) *Server {
 	if p == nil {
 		p = serve.New(serve.Config{})
 	}
-	return &Server{pool: p}
+	s := &Server{pool: p}
+	s.fleets.init()
+	return s
 }
 
 // Pool exposes the server's shard pool (observability and tests).
@@ -78,6 +86,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/search", s.route(epSearch, http.MethodPost, true, s.handleSearch))
 	mux.HandleFunc("/v1/simulate", s.route(epSimulate, http.MethodPost, true, s.handleSimulate))
 	mux.HandleFunc("/v1/experiments/{id}", s.route(epExperiments, http.MethodPost, true, s.handleExperiment))
+	mux.HandleFunc("/v1/jobs", s.routeMethods(epJobs, true, map[string]http.HandlerFunc{
+		http.MethodPost: s.handleJobSubmit,
+		http.MethodGet:  s.handleJobsList,
+	}))
+	mux.HandleFunc("/v1/jobs/{id}", s.routeMethods(epJob, true, map[string]http.HandlerFunc{
+		http.MethodGet:    s.handleJobGet,
+		http.MethodDelete: s.handleJobCancel,
+	}))
 	mux.HandleFunc("/", s.handleNotFound)
 	return mux
 }
@@ -91,6 +107,8 @@ const (
 	epSearch      = "search"
 	epSimulate    = "simulate"
 	epExperiments = "experiments"
+	epJobs        = "jobs"
+	epJob         = "job"
 )
 
 // statusWriter records the status a handler wrote so the stats layer can
@@ -110,16 +128,32 @@ func (w *statusWriter) WriteHeader(status int) {
 // admission: they must answer even — especially — when the pool is
 // saturated.
 func (s *Server) route(name, method string, admit bool, h http.HandlerFunc) http.HandlerFunc {
+	return s.routeMethods(name, admit, map[string]http.HandlerFunc{method: h})
+}
+
+// routeMethods is route for endpoints serving several methods on one
+// path (the jobs routes take GET and POST/DELETE).
+func (s *Server) routeMethods(name string, admit bool, methods map[string]http.HandlerFunc) http.HandlerFunc {
 	ep := s.pool.Stats().Endpoint(name)
+	allowed := make([]string, 0, len(methods))
+	for m := range methods {
+		allowed = append(allowed, m)
+	}
+	sort.Strings(allowed)
+	allow := strings.Join(allowed, ", ")
 	return func(w http.ResponseWriter, r *http.Request) {
 		done := ep.Begin()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		defer func() { done(sw.status) }()
+		h, ok := methods[r.Method]
 		// HEAD rides along with GET (the stock mux's method patterns allow
 		// it too, and uptime probes health-check with HEAD).
-		if r.Method != method && !(method == http.MethodGet && r.Method == http.MethodHead) {
-			sw.Header().Set("Allow", method)
-			writeError(sw, http.StatusMethodNotAllowed, "method %s not allowed on this endpoint (use %s)", r.Method, method)
+		if !ok && r.Method == http.MethodHead {
+			h, ok = methods[http.MethodGet]
+		}
+		if !ok {
+			sw.Header().Set("Allow", allow)
+			writeError(sw, http.StatusMethodNotAllowed, "method %s not allowed on this endpoint (use %s)", r.Method, allow)
 			return
 		}
 		if admit {

@@ -62,6 +62,14 @@ func TestErrorPaths(t *testing.T) {
 		{"method not allowed", "GET", "/v1/plan", "", 405, "method GET not allowed"},
 		{"unknown route", "GET", "/v1/nope", "", 404, "no such endpoint"},
 		{"stats wrong method", "POST", "/v1/stats", "", 405, "method POST not allowed"},
+		{"jobs malformed body", "POST", "/v1/jobs", `{"fleet":`, 400, "jobs:"},
+		{"jobs unknown field", "POST", "/v1/jobs", `{"nope":1}`, 400, "jobs:"},
+		{"jobs no fleet", "POST", "/v1/jobs", `{"job":{"id":"a","gpus":8,"model":{"group":1}}}`, 400, "config: no clusters"},
+		{"jobs ragged demand", "POST", "/v1/jobs", `{"fleet":{"env":"Hybrid","nodes":4},"job":{"id":"a","gpus":12,"model":{"group":1}}}`, 400, "multiple of the fleet's 8 GPUs per node"},
+		{"jobs oversized fleet", "POST", "/v1/jobs", `{"fleet":{"env":"InfiniBand","nodes":600},"job":{"id":"a","gpus":8,"model":{"group":1}}}`, 400, "exceeds the per-fleet limit of 512"},
+		{"jobs unknown poll", "GET", "/v1/jobs/ghost", "", 404, `no such job "ghost"`},
+		{"jobs unknown cancel", "DELETE", "/v1/jobs/ghost", "", 404, `no such job "ghost"`},
+		{"jobs wrong method", "PUT", "/v1/jobs", "", 405, "method PUT not allowed"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			var resp *http.Response
@@ -69,8 +77,14 @@ func TestErrorPaths(t *testing.T) {
 			switch tc.method {
 			case "GET":
 				resp, err = http.Get(srv.URL + tc.path)
-			default:
+			case "POST":
 				resp, err = http.Post(srv.URL+tc.path, "application/json", strings.NewReader(tc.body))
+			default:
+				req, rerr := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader(tc.body))
+				if rerr != nil {
+					t.Fatal(rerr)
+				}
+				resp, err = http.DefaultClient.Do(req)
 			}
 			if err != nil {
 				t.Fatal(err)

@@ -1,0 +1,251 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+
+	"holmes/internal/fleet"
+)
+
+// The /v1/jobs surface is the fleet scheduler behind HTTP: clients
+// submit jobs against a shared fleet topology, poll their placement, and
+// cancel. The schedule a poll observes is the deterministic replay of
+// the fleet's live job set ordered by (submit, id) — so any interleaving
+// of concurrent submissions converges to the same schedule as a
+// sequential replay of the same trace, and a storm of pollers on a
+// 4-shard pool reads bit-identical placements.
+//
+//	POST   /v1/jobs       {"fleet": {...}, "job": {...}}  submit one job
+//	GET    /v1/jobs       every fleet's current schedule
+//	GET    /v1/jobs/{id}  one job's placement
+//	DELETE /v1/jobs/{id}  cancel one job
+
+// maxFleets bounds the distinct fleet topologies one daemon manages;
+// each holds up to fleet.MaxJobs live jobs and a slice-plan memo.
+const maxFleets = 16
+
+// fleetRegistry maps fleet topologies (by fingerprint) to their
+// managers, and live job IDs to their owning fleet. Job IDs are global:
+// the ID is the only handle GET and DELETE take.
+type fleetRegistry struct {
+	mu     sync.Mutex
+	fleets map[string]*fleet.Manager // fingerprint -> manager
+	owner  map[string]string         // job id -> fingerprint
+}
+
+func (fr *fleetRegistry) init() {
+	fr.fleets = make(map[string]*fleet.Manager)
+	fr.owner = make(map[string]string)
+}
+
+// JobRequest is the envelope of POST /v1/jobs.
+type JobRequest struct {
+	Fleet fleet.Spec `json:"fleet"`
+	Job   fleet.Job  `json:"job"`
+}
+
+// JobResponse is the outcome of POST /v1/jobs and GET /v1/jobs/{id}:
+// the job's slot in the fleet's current schedule.
+type JobResponse struct {
+	// Fleet identifies the owning fleet by topology fingerprint.
+	Fleet string `json:"fleet"`
+	// Jobs counts the fleet's live jobs.
+	Jobs      int             `json:"jobs"`
+	Placement fleet.Placement `json:"placement"`
+	// Makespan / Utilization summarize the fleet's whole schedule.
+	Makespan    float64 `json:"makespan"`
+	Utilization float64 `json:"utilization"`
+}
+
+// CancelResponse is the outcome of DELETE /v1/jobs/{id}.
+type CancelResponse struct {
+	Job      string `json:"job"`
+	Canceled bool   `json:"canceled"`
+	Jobs     int    `json:"jobs"`
+}
+
+// FleetSchedule is one fleet's slot in GET /v1/jobs.
+type FleetSchedule struct {
+	Fleet    string          `json:"fleet"`
+	Jobs     int             `json:"jobs"`
+	Schedule *fleet.Schedule `json:"schedule"`
+}
+
+// FleetsResponse is the outcome of GET /v1/jobs.
+type FleetsResponse struct {
+	Version string          `json:"version"`
+	Fleets  []FleetSchedule `json:"fleets"`
+}
+
+// handleJobSubmit admits one job into its fleet and answers with the
+// job's slot in the recomputed schedule.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	defer body.Close()
+	var req JobRequest
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, decodeStatus(err), "jobs: %v", err)
+		return
+	}
+	topo, err := req.Fleet.Topology()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "jobs: %v", err)
+		return
+	}
+	if topo.NumNodes() > maxNodes {
+		writeError(w, http.StatusBadRequest, "jobs: %d nodes exceeds the per-fleet limit of %d", topo.NumNodes(), maxNodes)
+		return
+	}
+	fp := topo.Fingerprint()
+
+	fr := &s.fleets
+	fr.mu.Lock()
+	mgr, ok := fr.fleets[fp]
+	if !ok {
+		if len(fr.fleets) >= maxFleets {
+			fr.mu.Unlock()
+			writeError(w, http.StatusTooManyRequests, "jobs: daemon already manages %d fleets", maxFleets)
+			return
+		}
+		// The fleet lives on the shard that owns its topology fingerprint,
+		// so its slice plans share that shard's communicator cache.
+		mgr, err = fleet.NewManager(s.pool.ShardFor(fp), topo)
+		if err != nil {
+			fr.mu.Unlock()
+			writeError(w, http.StatusBadRequest, "jobs: %v", err)
+			return
+		}
+		fr.fleets[fp] = mgr
+	}
+	if _, taken := fr.owner[req.Job.ID]; taken {
+		fr.mu.Unlock()
+		writeError(w, http.StatusConflict, "jobs: job %q already exists", req.Job.ID)
+		return
+	}
+	if mgr.Len() >= fleet.MaxJobs {
+		fr.mu.Unlock()
+		writeError(w, http.StatusTooManyRequests, "jobs: fleet already holds %d jobs (the per-fleet limit)", fleet.MaxJobs)
+		return
+	}
+	if err := mgr.Submit(req.Job); err != nil {
+		fr.mu.Unlock()
+		writeError(w, http.StatusBadRequest, "jobs: %v", err)
+		return
+	}
+	fr.owner[req.Job.ID] = fp
+	fr.mu.Unlock()
+
+	s.writeJobPlacement(w, mgr, fp, req.Job.ID)
+}
+
+// managerOf resolves a job ID to its fleet.
+func (s *Server) managerOf(id string) (*fleet.Manager, string, bool) {
+	fr := &s.fleets
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	fp, ok := fr.owner[id]
+	if !ok {
+		return nil, "", false
+	}
+	return fr.fleets[fp], fp, true
+}
+
+func (s *Server) writeJobPlacement(w http.ResponseWriter, mgr *fleet.Manager, fp, id string) {
+	p, ok, err := mgr.Job(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "jobs: %v", err)
+		return
+	}
+	if !ok {
+		// Cancelled between lookup and replay.
+		writeError(w, http.StatusNotFound, "jobs: no such job %q", id)
+		return
+	}
+	sched, err := mgr.Schedule()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "jobs: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, JobResponse{
+		Fleet:       fp,
+		Jobs:        mgr.Len(),
+		Placement:   p,
+		Makespan:    sched.Makespan,
+		Utilization: sched.Utilization,
+	})
+}
+
+// handleJobGet answers one job's current placement.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	mgr, fp, ok := s.managerOf(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "jobs: no such job %q", id)
+		return
+	}
+	s.writeJobPlacement(w, mgr, fp, id)
+}
+
+// handleJobCancel removes one job from its fleet.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	fr := &s.fleets
+	fr.mu.Lock()
+	fp, ok := fr.owner[id]
+	if !ok {
+		fr.mu.Unlock()
+		writeError(w, http.StatusNotFound, "jobs: no such job %q", id)
+		return
+	}
+	mgr := fr.fleets[fp]
+	delete(fr.owner, id)
+	canceled := mgr.Cancel(id)
+	jobs := mgr.Len()
+	if jobs == 0 {
+		// The last job left: retire the fleet so idle topologies neither
+		// count against maxFleets nor pin their plan memos. Submits and
+		// cancels both hold fr.mu across the manager mutation, so no
+		// concurrent submit can be adding to the manager being dropped.
+		delete(fr.fleets, fp)
+	}
+	fr.mu.Unlock()
+	if !canceled {
+		// The registry and manager disagree: report loudly instead of
+		// pretending the cancel happened.
+		writeError(w, http.StatusInternalServerError, "jobs: registry held %q but the fleet did not", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, CancelResponse{Job: id, Canceled: true, Jobs: jobs})
+}
+
+// handleJobsList answers every fleet's schedule, fleets ordered by
+// fingerprint so concurrent observers read stable output.
+func (s *Server) handleJobsList(w http.ResponseWriter, r *http.Request) {
+	fr := &s.fleets
+	fr.mu.Lock()
+	fps := make([]string, 0, len(fr.fleets))
+	for fp := range fr.fleets {
+		fps = append(fps, fp)
+	}
+	mgrs := make(map[string]*fleet.Manager, len(fr.fleets))
+	for fp, mgr := range fr.fleets {
+		mgrs[fp] = mgr
+	}
+	fr.mu.Unlock()
+	sort.Strings(fps)
+
+	resp := FleetsResponse{Version: Version, Fleets: []FleetSchedule{}}
+	for _, fp := range fps {
+		sched, err := mgrs[fp].Schedule()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "jobs: fleet %s: %v", fp, err)
+			return
+		}
+		resp.Fleets = append(resp.Fleets, FleetSchedule{Fleet: fp, Jobs: mgrs[fp].Len(), Schedule: sched})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -85,6 +85,27 @@ func (pl *Planner) ReplanOn(sc *scenario.Scenario, at float64) (*Replan, error) 
 	if err != nil {
 		return nil, fmt.Errorf("core: replan baseline: %w", err)
 	}
+	return pl.ReplanFrom(before, sc, at)
+}
+
+// ReplanFrom is ReplanOn for a caller that already holds the pre-event
+// plan — the fleet scheduler replans an evicted job from the plan its
+// slice was running, so searching the baseline again would only repeat
+// work. The plan must have been produced by this planner (same topology
+// and spec).
+func (pl *Planner) ReplanFrom(before *Plan, sc *scenario.Scenario, at float64) (*Replan, error) {
+	if before == nil {
+		return nil, fmt.Errorf("core: replan needs the pre-event plan")
+	}
+	if sc.Empty() {
+		return nil, fmt.Errorf("core: replan needs a non-empty scenario")
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sc.ValidateFor(pl.Topo); err != nil {
+		return nil, err
+	}
 	degraded, err := trainer.Simulate(trainer.Config{
 		Topo: pl.Topo, Spec: pl.Spec,
 		TensorSize: before.Degrees.T, PipelineSize: before.Degrees.P,

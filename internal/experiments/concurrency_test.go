@@ -134,23 +134,3 @@ func TestWorkerPoolBounds(t *testing.T) {
 	}
 }
 
-// The deprecated package-level entry points must still work: they are the
-// old API surface and delegate to a per-call engine built from the
-// deprecated knobs.
-func TestDeprecatedShimsDelegate(t *testing.T) {
-	prevC, prevF := Concurrency, FullRecompute
-	t.Cleanup(func() { Concurrency, FullRecompute = prevC, prevF })
-
-	Concurrency, FullRecompute = 2, true
-	viaShim, err := Run("table1")
-	if err != nil {
-		t.Fatal(err)
-	}
-	viaSuite, err := suite(2, true).Run("table1")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(viaShim, viaSuite) {
-		t.Fatal("shim rows differ from equivalent Suite rows")
-	}
-}

@@ -16,18 +16,17 @@
 //
 // All execution settings (worker count, netsim oracle mode, communicator
 // cache) live on an engine.Engine carried by a Suite: independent suites
-// on independent engines can run concurrently without interfering. The
-// historical package-level entry points (Run, Table1, ... and the
-// Concurrency / FullRecompute knobs) survive as deprecated shims that
-// delegate to a per-call engine.
+// on independent engines can run concurrently without interfering. (The
+// historical package-level entry points and their Concurrency /
+// FullRecompute knobs are gone; construct a Suite.)
 package experiments
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
+	"holmes/internal/config"
 	"holmes/internal/engine"
+	"holmes/internal/fleet"
 	"holmes/internal/model"
 	"holmes/internal/scenario"
 	"holmes/internal/topology"
@@ -68,53 +67,6 @@ func NewSuite(eng *engine.Engine) Suite {
 
 // Engine exposes the suite's engine (observability: cache stats).
 func (s Suite) Engine() *engine.Engine { return s.eng }
-
-// Concurrency bounds the experiment worker pool of the deprecated
-// package-level entry points.
-//
-// Deprecated: construct a Suite on an engine.Engine with the desired
-// Concurrency instead; this variable is read by the shim entry points
-// only and mutating it races concurrent callers by design of the old API.
-var Concurrency = runtime.NumCPU()
-
-// FullRecompute makes the deprecated package-level entry points simulate
-// on the netsim full-recompute oracle.
-//
-// Deprecated: construct a Suite on an engine.Engine with FullRecompute
-// set instead; this variable is read by the shim entry points only.
-var FullRecompute bool
-
-// shimEngine materializes the deprecated package knobs as an engine.
-// The default knob values map to the shared default engine, and
-// non-default knob combinations are memoized, so repeated calls through
-// the deprecated API keep a warm communicator cache (the old global
-// planCache behaviour) instead of rebuilding worlds every call. This
-// little registry is itself package-level mutable state — it exists only
-// to serve the deprecated entry points and dies with them.
-var shimEngines = struct {
-	sync.Mutex
-	m map[shimKey]*engine.Engine
-}{m: make(map[shimKey]*engine.Engine)}
-
-type shimKey struct {
-	concurrency   int
-	fullRecompute bool
-}
-
-func shimEngine() *engine.Engine {
-	if Concurrency == runtime.NumCPU() && !FullRecompute {
-		return engine.Default()
-	}
-	key := shimKey{concurrency: Concurrency, fullRecompute: FullRecompute}
-	shimEngines.Lock()
-	defer shimEngines.Unlock()
-	e, ok := shimEngines.m[key]
-	if !ok {
-		e = engine.New(engine.Config{Concurrency: key.concurrency, FullRecompute: key.fullRecompute})
-		shimEngines.m[key] = e
-	}
-	return e
-}
 
 // PipelineSize returns the pipeline-parallel degree used for a parameter
 // group at a node count: Table 2 pins p=2 for the 3.6B groups and p=3 for
@@ -493,9 +445,69 @@ func (s Suite) All() (map[string][]Row, error) {
 	return out, nil
 }
 
-// Names lists experiment ids in paper order; "scenarios" is the grid's
-// fault-robustness extension beyond the paper.
-var Names = []string{"table1", "table3", "fig4", "fig5", "fig6", "fig7", "table4", "scenarios"}
+// FleetJobs are the contending jobs of the fleet grid: the four Table-2
+// parameter groups arriving together on an 8-node hybrid fleet, demands
+// sized so the fleet is oversubscribed and the scheduler must queue.
+var FleetJobs = []fleet.Job{
+	{ID: "PG1", GPUs: 16, Iterations: 1, Model: config.ModelConfig{Group: 1}},
+	{ID: "PG2", GPUs: 16, Iterations: 1, Model: config.ModelConfig{Group: 2}},
+	{ID: "PG3", GPUs: 32, Iterations: 1, Model: config.ModelConfig{Group: 3}},
+	{ID: "PG4", GPUs: 32, Iterations: 1, Model: config.ModelConfig{Group: 4}},
+}
+
+// FleetVariants are the fleet grid's arms: a pristine replay and a
+// degraded one where a RoCE node loses half its RDMA capacity at the
+// start and an IB node fails mid-run (evicting and requeueing whatever
+// was placed on it).
+var FleetVariants = []*scenario.Scenario{
+	{Name: "pristine"},
+	{Name: "degraded", Events: []scenario.Event{
+		{Kind: scenario.DegradeNIC, At: 0, Node: 4, Class: scenario.ClassRDMA, Factor: 0.5},
+		{Kind: scenario.FailNode, At: 5, Node: 0},
+	}},
+}
+
+// Fleet runs the multi-job fleet grid: the Table-3 parameter groups as
+// contending jobs on one shared 8-node hybrid fleet, replayed pristine
+// and degraded. Rows carry each job's planned slice performance; the
+// schedule itself (placements, makespan) is pinned by the fleet golden
+// test, so the grid reports the paper-comparable metrics only.
+func (s Suite) Fleet() ([]Row, error) {
+	var rows []Row
+	for _, sc := range FleetVariants {
+		tr := &fleet.Trace{
+			Name:     "fleet",
+			Fleet:    Spec8Hybrid(),
+			Scenario: sc,
+			Jobs:     FleetJobs,
+		}
+		sched, err := fleet.Replay(s.eng, tr)
+		if err != nil {
+			return nil, fmt.Errorf("fleet/%s: %w", sc.Name, err)
+		}
+		for _, p := range sched.Jobs {
+			rows = append(rows, Row{
+				Experiment: "fleet",
+				Label:      fmt.Sprintf("%s/%s", p.JobID, sc.Name),
+				TFLOPS:     p.TFLOPS,
+				Throughput: p.Throughput,
+				Partition:  p.Partition,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Spec8Hybrid is the fleet grid's topology: the paper's 8-node hybrid
+// environment expressed as a fleet spec.
+func Spec8Hybrid() fleet.Spec {
+	return fleet.Spec{Env: string(topology.EnvHybrid), Nodes: 8}
+}
+
+// Names lists experiment ids in paper order; "scenarios" and "fleet"
+// are the grid's fault-robustness and multi-job extensions beyond the
+// paper.
+var Names = []string{"table1", "table3", "fig4", "fig5", "fig6", "fig7", "table4", "scenarios", "fleet"}
 
 // Run dispatches one experiment by id.
 func (s Suite) Run(id string) ([]Row, error) {
@@ -516,58 +528,9 @@ func (s Suite) Run(id string) ([]Row, error) {
 		return s.Table4()
 	case "scenarios":
 		return s.Scenarios()
+	case "fleet":
+		return s.Fleet()
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q (want one of %v)", id, Names)
 	}
 }
-
-// --- Deprecated package-level shims -----------------------------------
-//
-// The pre-engine API read the Concurrency / FullRecompute package vars.
-// Each shim materializes those knobs as an engine for the one call and
-// delegates to a Suite; new code should construct a Suite directly.
-
-// Run dispatches one experiment by id.
-//
-// Deprecated: use NewSuite(eng).Run.
-func Run(id string) ([]Row, error) { return NewSuite(shimEngine()).Run(id) }
-
-// All runs every experiment, keyed by experiment id in paper order.
-//
-// Deprecated: use NewSuite(eng).All.
-func All() (map[string][]Row, error) { return NewSuite(shimEngine()).All() }
-
-// Table1 reproduces Table 1.
-//
-// Deprecated: use NewSuite(eng).Table1.
-func Table1() ([]Row, error) { return NewSuite(shimEngine()).Table1() }
-
-// Table3 reproduces the full Table 3 grid.
-//
-// Deprecated: use NewSuite(eng).Table3.
-func Table3() ([]Row, error) { return NewSuite(shimEngine()).Table3() }
-
-// Figure4 reproduces the grads-reduce-scatter comparison.
-//
-// Deprecated: use NewSuite(eng).Figure4.
-func Figure4() ([]Row, error) { return NewSuite(shimEngine()).Figure4() }
-
-// Figure5 reproduces the partition-strategy comparison.
-//
-// Deprecated: use NewSuite(eng).Figure5.
-func Figure5() ([]Row, error) { return NewSuite(shimEngine()).Figure5() }
-
-// Figure6 reproduces the framework comparison.
-//
-// Deprecated: use NewSuite(eng).Figure6.
-func Figure6() ([]Row, error) { return NewSuite(shimEngine()).Figure6() }
-
-// Figure7 reproduces the scalability study.
-//
-// Deprecated: use NewSuite(eng).Figure7.
-func Figure7() ([]Row, error) { return NewSuite(shimEngine()).Figure7() }
-
-// Table4 reproduces the component ablation.
-//
-// Deprecated: use NewSuite(eng).Table4.
-func Table4() ([]Row, error) { return NewSuite(shimEngine()).Table4() }

@@ -6,7 +6,7 @@ import (
 )
 
 func TestTable1ShapeMatchesPaper(t *testing.T) {
-	rows, err := Table1()
+	rows, err := NewSuite(nil).Table1()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestTable1ShapeMatchesPaper(t *testing.T) {
 }
 
 func TestFigure6OrderingMatchesPaper(t *testing.T) {
-	rows, err := Figure6()
+	rows, err := NewSuite(nil).Figure6()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestFigure6OrderingMatchesPaper(t *testing.T) {
 }
 
 func TestTable4Monotonicity(t *testing.T) {
-	rows, err := Table4()
+	rows, err := NewSuite(nil).Table4()
 	if err != nil {
 		t.Fatal(err)
 	}

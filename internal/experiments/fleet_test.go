@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The fleet grid: four contending parameter groups × pristine/degraded
+// replays of one shared 8-node hybrid fleet.
+func TestFleetGridShape(t *testing.T) {
+	rows, err := NewSuite(nil).Fleet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(FleetJobs) * len(FleetVariants)
+	if len(rows) != want {
+		t.Fatalf("fleet grid has %d rows, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if r.Experiment != "fleet" {
+			t.Fatalf("row labelled %q", r.Experiment)
+		}
+		if r.Throughput <= 0 || r.TFLOPS <= 0 {
+			t.Fatalf("job %s reported no performance: %+v", r.Label, r)
+		}
+	}
+	// Every job appears once per variant.
+	seen := map[string]int{}
+	for _, r := range rows {
+		seen[r.Label]++
+	}
+	for _, j := range FleetJobs {
+		for _, sc := range FleetVariants {
+			label := j.ID + "/" + sc.Name
+			if seen[label] != 1 {
+				t.Fatalf("label %s appears %d times", label, seen[label])
+			}
+		}
+	}
+	// The degraded arm runs on a smaller, slower fleet: at least one job
+	// must come out of it with strictly lower planned throughput.
+	slower := false
+	for _, j := range FleetJobs {
+		var pristine, degraded Row
+		for _, r := range rows {
+			if strings.HasPrefix(r.Label, j.ID+"/") {
+				if strings.HasSuffix(r.Label, "/pristine") {
+					pristine = r
+				} else {
+					degraded = r
+				}
+			}
+		}
+		if degraded.Throughput < pristine.Throughput {
+			slower = true
+		}
+	}
+	if !slower {
+		t.Fatal("the degraded arm changed no job's planned throughput; the fault arm is dead")
+	}
+}
+
+// The grid is deterministic across suites (and therefore across the API
+// and holmes-bench runs).
+func TestFleetGridDeterministic(t *testing.T) {
+	a, err := suite(1, false).Run("fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := suite(8, false).Run("fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("fleet grid rows differ across engine concurrency")
+	}
+}

@@ -1,0 +1,364 @@
+// Package fleet schedules many training jobs over one shared
+// heterogeneous-NIC topology. The paper plans a single job that owns the
+// whole fabric; a production fleet has jobs arriving continuously and
+// contending for the same GPUs. The scheduler carves node-disjoint
+// sub-topologies out of the fleet — NIC-affine first, per the paper's
+// §2.4 cluster-grouping rule, with topology.Carve re-deriving the rank
+// numbering on every slice — scores candidate placements with the
+// engine-backed joint (t, p) SearchPlan, and runs FIFO with EASY
+// backfill under fully deterministic tie-breaking: a given trace always
+// produces the identical schedule, regardless of engine concurrency or
+// shard count.
+//
+// Scenario events thread through the replay clock: fail_node evicts and
+// requeues exactly the jobs whose slice lost the node (their residual
+// recovery is measured by core replanning), degrade_nic replans affected
+// jobs in place on their degraded slice, and restore_node returns
+// capacity to the free pool.
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sync"
+
+	"holmes/internal/config"
+	"holmes/internal/core"
+	"holmes/internal/engine"
+	"holmes/internal/model"
+	"holmes/internal/scenario"
+	"holmes/internal/topology"
+	"holmes/internal/trainer"
+)
+
+// Job is one training job contending for the fleet: a model, a GPU
+// demand, and an arrival instant on the virtual clock.
+type Job struct {
+	// ID names the job; unique within a trace.
+	ID string `json:"id"`
+	// Submit is the arrival instant in virtual seconds (0 = trace start).
+	Submit float64 `json:"submit,omitempty"`
+	// GPUs is the demand: a positive multiple of the fleet's GPUs-per-node
+	// (slices are carved in whole nodes).
+	GPUs int `json:"gpus"`
+	// Iterations is the training length in iterations (default 1);
+	// runtime = iterations × the planned iteration time.
+	Iterations int `json:"iterations,omitempty"`
+	// Deadline, when positive, is the instant the job should finish by.
+	// The scheduler stays FIFO-fair and only reports misses.
+	Deadline float64 `json:"deadline,omitempty"`
+	// Model picks a Table-2 parameter group or an explicit architecture
+	// (same schema as the serve API).
+	Model config.ModelConfig `json:"model"`
+	// Framework selects the behaviour profile (default Holmes).
+	Framework string `json:"framework,omitempty"`
+}
+
+// Spec describes the shared fleet topology of a trace: the env/nodes
+// shorthand or an explicit cluster list (config.Config semantics).
+type Spec struct {
+	Env         string                 `json:"env,omitempty"`
+	Nodes       int                    `json:"nodes,omitempty"`
+	Clusters    []config.ClusterConfig `json:"clusters,omitempty"`
+	GPUsPerNode int                    `json:"gpus_per_node,omitempty"`
+}
+
+// Topology materializes the fleet topology.
+func (f Spec) Topology() (*topology.Topology, error) {
+	c := config.Config{Env: f.Env, Nodes: f.Nodes, Clusters: f.Clusters, GPUsPerNode: f.GPUsPerNode}
+	return c.Topology()
+}
+
+// Trace is a replayable fleet workload: the shared topology, an optional
+// scripted event timeline, and the arriving jobs.
+type Trace struct {
+	Name     string             `json:"name,omitempty"`
+	Fleet    Spec               `json:"fleet"`
+	Scenario *scenario.Scenario `json:"scenario,omitempty"`
+	Jobs     []Job              `json:"jobs"`
+}
+
+// Load parses a trace from JSON, rejecting unknown fields.
+func Load(r io.Reader) (*Trace, error) {
+	var tr Trace
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&tr); err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("fleet: trailing data after the trace object")
+	}
+	return &tr, nil
+}
+
+// LoadFile parses a trace file.
+func LoadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Degrees is the (t, p, d) triple of a placement, JSON-shaped for golden
+// files and the serve API.
+type Degrees struct {
+	Tensor   int `json:"tensor"`
+	Pipeline int `json:"pipeline"`
+	Data     int `json:"data"`
+}
+
+// Placement is one job's slot in the schedule.
+type Placement struct {
+	JobID string `json:"job"`
+	// Nodes is the slice the job (last) ran on, by original fleet node
+	// index, ascending. Empty when the job could never be placed.
+	Nodes   []int   `json:"nodes,omitempty"`
+	Degrees Degrees `json:"degrees"`
+	// Start is the instant the job first began executing; Finish the
+	// instant it completed; Waited = Start − Submit.
+	Start  float64 `json:"start"`
+	Finish float64 `json:"finish"`
+	Waited float64 `json:"waited"`
+	// IterSeconds / Throughput / TFLOPS / Partition describe the winning
+	// plan on the job's slice (the latest plan, after any replans).
+	IterSeconds float64 `json:"iteration_seconds"`
+	Throughput  float64 `json:"samples_per_sec"`
+	TFLOPS      float64 `json:"tflops_per_gpu"`
+	Partition   string  `json:"partition,omitempty"`
+	// Backfilled marks a job started ahead of a blocked queue head under
+	// the EASY reservation.
+	Backfilled bool `json:"backfilled,omitempty"`
+	// Evictions counts fail_node requeues; Replans counts in-place
+	// degrade_nic replans; Recovery is the core replanner's recovery
+	// factor for the last eviction (replanned-over-degraded throughput on
+	// the residual slice; 0 when the slice had no survivors).
+	Evictions int     `json:"evictions,omitempty"`
+	Replans   int     `json:"replans,omitempty"`
+	Recovery  float64 `json:"recovery,omitempty"`
+	// MissedDeadline reports Finish > Deadline for deadline jobs.
+	MissedDeadline bool `json:"missed_deadline,omitempty"`
+	// Unplaced carries the reason a job could never run (demand beyond
+	// surviving capacity, or no feasible plan on any slice).
+	Unplaced string `json:"unplaced,omitempty"`
+}
+
+// Schedule is the deterministic outcome of replaying a trace.
+type Schedule struct {
+	Trace string `json:"trace,omitempty"`
+	Nodes int    `json:"nodes"`
+	GPUs  int    `json:"gpus"`
+	// Jobs holds one placement per trace job, in trace order.
+	Jobs []Placement `json:"jobs"`
+	// Makespan is the completion instant of the last job; Utilization is
+	// busy GPU-seconds over fleet GPU-seconds across the makespan.
+	Makespan    float64 `json:"makespan"`
+	Utilization float64 `json:"utilization"`
+	// ScenarioEvents counts the timeline events applied during replay.
+	ScenarioEvents int `json:"scenario_events,omitempty"`
+}
+
+// Scheduler replays traces over one fleet topology on one engine. A
+// Scheduler carries no trace state between Replay calls — only a cache
+// of slice plans — and is safe for concurrent replays.
+type Scheduler struct {
+	topo *topology.Topology
+	eng  *engine.Engine
+
+	// plans memoizes the joint (t, p) search per (slice fingerprint,
+	// model, framework). Scoring is a pure function of those inputs, so
+	// caching cannot change a schedule — but it turns the API manager's
+	// recompute-on-mutation replays into map lookups: a fleet's distinct
+	// slices and models are a tiny working set.
+	mu    sync.Mutex
+	plans map[planKey]planEntry
+}
+
+type planKey struct {
+	fp   string
+	spec model.Spec
+	fw   trainer.Framework
+}
+
+type planEntry struct {
+	planner *core.Planner
+	plan    *core.Plan
+	err     error
+}
+
+// maxPlanCache bounds the slice-plan memo; overflowing working sets
+// (endless distinct degrade factors) reset it rather than grow without
+// limit — correctness never depends on a hit.
+const maxPlanCache = 1024
+
+// NewScheduler validates the fleet topology and binds it to an engine
+// (nil = the shared default engine).
+func NewScheduler(eng *engine.Engine, topo *topology.Topology) (*Scheduler, error) {
+	if topo == nil {
+		return nil, fmt.Errorf("fleet: nil topology")
+	}
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if eng == nil {
+		eng = engine.Default()
+	}
+	return &Scheduler{topo: topo, eng: eng, plans: make(map[planKey]planEntry)}, nil
+}
+
+// searchSlice runs (or replays from the memo) the joint search for a
+// model on a carved slice.
+func (s *Scheduler) searchSlice(sub *topology.Topology, spec model.Spec, fw trainer.Framework) (*core.Planner, *core.Plan, error) {
+	key := planKey{fp: sub.Fingerprint(), spec: spec, fw: fw}
+	s.mu.Lock()
+	if e, ok := s.plans[key]; ok {
+		s.mu.Unlock()
+		return e.planner, e.plan, e.err
+	}
+	s.mu.Unlock()
+	pl, err := core.NewPlannerOn(s.eng, sub, spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	pl.Framework = fw
+	plan, err := pl.SearchPlan()
+	s.mu.Lock()
+	if len(s.plans) >= maxPlanCache {
+		s.plans = make(map[planKey]planEntry)
+	}
+	s.plans[key] = planEntry{planner: pl, plan: plan, err: err}
+	s.mu.Unlock()
+	if err != nil {
+		return nil, nil, err
+	}
+	return pl, plan, nil
+}
+
+// Topology exposes the fleet topology.
+func (s *Scheduler) Topology() *topology.Topology { return s.topo }
+
+// Replay builds the trace's fleet topology and replays the jobs on the
+// given engine — the one-call entry point of cmd/holmes-fleet and the
+// facade.
+func Replay(eng *engine.Engine, tr *Trace) (*Schedule, error) {
+	topo, err := tr.Fleet.Topology()
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewScheduler(eng, topo)
+	if err != nil {
+		return nil, err
+	}
+	return s.Replay(tr)
+}
+
+// rjob is one resolved, validated trace job.
+type rjob struct {
+	idx   int // trace position: the deterministic tie-breaker
+	job   Job
+	spec  model.Spec
+	fw    trainer.Framework
+	nodes int // demand in whole nodes
+}
+
+// ResolveJob validates one job against the fleet topology: non-empty ID,
+// finite non-negative submit, whole-node GPU demand within the fleet,
+// resolvable model, known framework. Shared by trace replay and the
+// serve API's admission path.
+func ResolveJob(topo *topology.Topology, j Job) error {
+	_, err := resolveJob(topo, 0, j)
+	return err
+}
+
+func resolveJob(topo *topology.Topology, idx int, j Job) (rjob, error) {
+	if j.ID == "" {
+		return rjob{}, fmt.Errorf("fleet: job %d has no id", idx)
+	}
+	if j.Submit < 0 || math.IsNaN(j.Submit) || math.IsInf(j.Submit, 0) {
+		return rjob{}, fmt.Errorf("fleet: job %q has bad submit time %v", j.ID, j.Submit)
+	}
+	if j.Iterations < 0 {
+		return rjob{}, fmt.Errorf("fleet: job %q has negative iterations", j.ID)
+	}
+	if j.Deadline != 0 && (j.Deadline <= j.Submit || math.IsNaN(j.Deadline) || math.IsInf(j.Deadline, 0)) {
+		return rjob{}, fmt.Errorf("fleet: job %q deadline %v not after submit %v", j.ID, j.Deadline, j.Submit)
+	}
+	g := topo.GPUsPerNode
+	if j.GPUs <= 0 || j.GPUs%g != 0 {
+		return rjob{}, fmt.Errorf("fleet: job %q demands %d GPUs; demand must be a positive multiple of the fleet's %d GPUs per node", j.ID, j.GPUs, g)
+	}
+	if j.GPUs > topo.NumDevices() {
+		return rjob{}, fmt.Errorf("fleet: job %q demands %d GPUs; the fleet has %d", j.ID, j.GPUs, topo.NumDevices())
+	}
+	cfg := config.Config{Model: j.Model}
+	spec, err := cfg.Spec()
+	if err != nil {
+		return rjob{}, fmt.Errorf("fleet: job %q: %w", j.ID, err)
+	}
+	fw := trainer.Framework(j.Framework)
+	if j.Framework == "" {
+		fw = trainer.Holmes
+	} else {
+		known := false
+		for _, f := range trainer.AllFrameworks {
+			if fw == f {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return rjob{}, fmt.Errorf("fleet: job %q has unknown framework %q", j.ID, j.Framework)
+		}
+	}
+	return rjob{idx: idx, job: j, spec: spec, fw: fw, nodes: j.GPUs / g}, nil
+}
+
+// validateScenario checks the fleet-supported event kinds: the replay
+// clock understands node failure, restoration, and NIC degradation;
+// background traffic and elastic joins belong to the simulation layer.
+func validateScenario(topo *topology.Topology, sc *scenario.Scenario) error {
+	if sc.Empty() {
+		return nil
+	}
+	if err := sc.Validate(); err != nil {
+		return err
+	}
+	if err := sc.ValidateFor(topo); err != nil {
+		return err
+	}
+	for i, ev := range sc.Events {
+		switch ev.Kind {
+		case scenario.FailNode, scenario.RestoreNode, scenario.DegradeNIC:
+		default:
+			return fmt.Errorf("fleet: event %d: kind %q is not supported by the fleet scheduler (use fail_node, restore_node, or degrade_nic)", i, ev.Kind)
+		}
+	}
+	return nil
+}
+
+// Validate checks a whole trace against its own fleet spec.
+func (tr *Trace) Validate() error {
+	topo, err := tr.Fleet.Topology()
+	if err != nil {
+		return err
+	}
+	if len(tr.Jobs) == 0 {
+		return fmt.Errorf("fleet: trace has no jobs")
+	}
+	seen := make(map[string]int, len(tr.Jobs))
+	for i, j := range tr.Jobs {
+		if _, err := resolveJob(topo, i, j); err != nil {
+			return err
+		}
+		if first, dup := seen[j.ID]; dup {
+			return fmt.Errorf("fleet: jobs %d and %d share id %q", first, i, j.ID)
+		}
+		seen[j.ID] = i
+	}
+	return validateScenario(topo, tr.Scenario)
+}

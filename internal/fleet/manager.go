@@ -1,0 +1,135 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"holmes/internal/engine"
+	"holmes/internal/topology"
+)
+
+// MaxJobs bounds one fleet's live job set: schedules are recomputed from
+// the full set on demand, so an unbounded set would let one tenant make
+// every poll arbitrarily expensive.
+const MaxJobs = 64
+
+// Manager is the concurrent face of the scheduler for the serve API:
+// jobs are submitted, polled, and cancelled from any number of
+// goroutines, and the schedule observed at any instant is the
+// deterministic replay of the live job set ordered by (submit, id) —
+// independent of the interleaving that built the set. Submitting the
+// same jobs in any order, on any number of shards, yields bit-identical
+// schedules.
+type Manager struct {
+	sch *Scheduler
+
+	mu      sync.Mutex
+	jobs    map[string]Job
+	version uint64 // bumped on every mutation
+	cached  *Schedule
+	cachedV uint64
+}
+
+// NewManager builds a manager over one shared fleet topology on the
+// given engine (nil = the shared default).
+func NewManager(eng *engine.Engine, topo *topology.Topology) (*Manager, error) {
+	sch, err := NewScheduler(eng, topo)
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{sch: sch, jobs: make(map[string]Job)}, nil
+}
+
+// Topology exposes the fleet topology.
+func (m *Manager) Topology() *topology.Topology { return m.sch.Topology() }
+
+// Submit validates and admits one job. Duplicate IDs are rejected — the
+// ID is the client's handle for polling and cancellation.
+func (m *Manager) Submit(j Job) error {
+	if err := ResolveJob(m.sch.topo, j); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.jobs[j.ID]; dup {
+		return fmt.Errorf("fleet: job %q already exists", j.ID)
+	}
+	if len(m.jobs) >= MaxJobs {
+		return fmt.Errorf("fleet: fleet already holds %d jobs (the per-fleet limit)", MaxJobs)
+	}
+	m.jobs[j.ID] = j
+	m.version++
+	return nil
+}
+
+// Cancel removes a job from the set; false = unknown ID.
+func (m *Manager) Cancel(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.jobs[id]; !ok {
+		return false
+	}
+	delete(m.jobs, id)
+	m.version++
+	return true
+}
+
+// Len reports the live job count.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.jobs)
+}
+
+// trace folds the live set into the canonical trace: jobs ordered by
+// (submit, id). Callers hold m.mu.
+func (m *Manager) trace() *Trace {
+	jobs := make([]Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	sort.Slice(jobs, func(a, b int) bool {
+		if jobs[a].Submit != jobs[b].Submit {
+			return jobs[a].Submit < jobs[b].Submit
+		}
+		return jobs[a].ID < jobs[b].ID
+	})
+	return &Trace{Jobs: jobs}
+}
+
+// Schedule replays the live job set, memoized until the next mutation.
+// An empty set returns an empty schedule. The returned schedule is
+// shared — treat it as read-only.
+func (m *Manager) Schedule() (*Schedule, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cached != nil && m.cachedV == m.version {
+		return m.cached, nil
+	}
+	if len(m.jobs) == 0 {
+		sched := &Schedule{Nodes: m.sch.topo.NumNodes(), GPUs: m.sch.topo.NumDevices()}
+		m.cached, m.cachedV = sched, m.version
+		return sched, nil
+	}
+	sched, err := m.sch.Replay(m.trace())
+	if err != nil {
+		return nil, err
+	}
+	m.cached, m.cachedV = sched, m.version
+	return sched, nil
+}
+
+// Job returns the placement of one job in the current schedule.
+func (m *Manager) Job(id string) (Placement, bool, error) {
+	sched, err := m.Schedule()
+	if err != nil {
+		return Placement{}, false, err
+	}
+	for _, p := range sched.Jobs {
+		if p.JobID == id {
+			return p, true, nil
+		}
+	}
+	return Placement{}, false, nil
+}

@@ -1,0 +1,622 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"holmes/internal/core"
+	"holmes/internal/netsim"
+	"holmes/internal/scenario"
+	"holmes/internal/topology"
+)
+
+// The replay is an event-driven simulation on a virtual clock. At every
+// instant the state machine applies, in this fixed order: run
+// completions, job arrivals, scenario events, then a placement pass.
+// Every queue and run scan is ordered by (time, trace index), every node
+// choice takes lowest original index first, and candidate scoring
+// selects its winner in input order — so the schedule is a pure function
+// of the trace, independent of engine concurrency or shard layout.
+
+// nodeFactors is the cumulative degrade state of one node (1 = pristine),
+// mirroring scenario.StateAt semantics for the two classes carving can
+// represent. Intra-node degradation has no topology-level expression and
+// is ignored here, as in scenario.EffectiveSpec.
+type nodeFactors struct {
+	rdma, eth float64
+}
+
+// qentry is one queued (or requeued) job.
+type qentry struct {
+	j        *rjob
+	ready    float64 // submit time, or the eviction instant on requeue
+	remIters int
+	started  bool
+	lastErr  string
+	res      *Placement
+}
+
+// run is one executing slice.
+type run struct {
+	q       *qentry
+	nodes   []int // ascending original fleet indices
+	planner *core.Planner
+	plan    *core.Plan
+	iters   int // iterations remaining in this segment
+	// segStart is when this segment began (placement or last replan);
+	// finish is the projected completion instant.
+	segStart, finish float64
+}
+
+// choice is one scored placement option.
+type choice struct {
+	nodes   []int
+	planner *core.Planner
+	plan    *core.Plan
+}
+
+// state is the mutable replay state.
+type state struct {
+	sch     *Scheduler
+	clock   float64
+	free    []bool // alive and idle, by original node index
+	failed  map[int]bool
+	factors map[int]nodeFactors
+	queue   []*qentry
+	runs    []*run
+	busy    float64 // accumulated busy GPU-seconds
+	results []Placement
+}
+
+// Replay runs the trace's jobs over the scheduler's fleet topology
+// (tr.Fleet is ignored here; the Replay function resolves it). The
+// returned schedule is deterministic: same trace, same schedule.
+func (s *Scheduler) Replay(tr *Trace) (*Schedule, error) {
+	if len(tr.Jobs) == 0 {
+		return nil, fmt.Errorf("fleet: trace has no jobs")
+	}
+	jobs := make([]*rjob, len(tr.Jobs))
+	seen := make(map[string]int, len(tr.Jobs))
+	for i, j := range tr.Jobs {
+		rj, err := resolveJob(s.topo, i, j)
+		if err != nil {
+			return nil, err
+		}
+		if first, dup := seen[j.ID]; dup {
+			return nil, fmt.Errorf("fleet: jobs %d and %d share id %q", first, i, j.ID)
+		}
+		seen[j.ID] = i
+		rj.idx = i
+		if rj.job.Iterations == 0 {
+			rj.job.Iterations = 1
+		}
+		jobs[i] = &rj
+	}
+	if err := validateScenario(s.topo, tr.Scenario); err != nil {
+		return nil, err
+	}
+
+	st := &state{
+		sch:     s,
+		free:    make([]bool, s.topo.NumNodes()),
+		failed:  make(map[int]bool),
+		factors: make(map[int]nodeFactors),
+		results: make([]Placement, len(jobs)),
+	}
+	for i := range st.free {
+		st.free[i] = true
+	}
+	for i, j := range jobs {
+		st.results[i] = Placement{JobID: j.job.ID}
+	}
+
+	// Arrivals in (submit, trace index) order.
+	arr := append([]*rjob(nil), jobs...)
+	sort.SliceStable(arr, func(a, b int) bool { return arr[a].job.Submit < arr[b].job.Submit })
+	evs := tr.Scenario.Ordered()
+	ai, ei := 0, 0
+
+	for {
+		for ai < len(arr) && arr[ai].job.Submit <= st.clock {
+			st.enqueue(arr[ai])
+			ai++
+		}
+		for ei < len(evs) && evs[ei].At <= st.clock {
+			st.applyEvent(evs[ei])
+			ei++
+		}
+		st.placePass()
+
+		next := math.Inf(1)
+		if ai < len(arr) {
+			next = arr[ai].job.Submit
+		}
+		// Pending events only matter while work remains: a restore can
+		// unblock a queued job, but an empty fleet has nothing to gain.
+		if ei < len(evs) && (len(st.runs) > 0 || len(st.queue) > 0 || ai < len(arr)) {
+			next = min(next, evs[ei].At)
+		}
+		for _, r := range st.runs {
+			next = min(next, r.finish)
+		}
+		if math.IsInf(next, 1) {
+			if len(st.queue) > 0 {
+				// The whole surviving fleet is idle and the head still
+				// cannot start: it never will.
+				head := st.queue[0]
+				st.queue = st.queue[1:]
+				reason := head.lastErr
+				if reason == "" {
+					reason = "demand exceeds the fleet's surviving capacity"
+				}
+				head.res.Unplaced = reason
+				continue
+			}
+			break
+		}
+		st.clock = next
+		st.completeFinished()
+	}
+
+	sched := &Schedule{
+		Trace:          tr.Name,
+		Nodes:          s.topo.NumNodes(),
+		GPUs:           s.topo.NumDevices(),
+		Jobs:           st.results,
+		ScenarioEvents: ei,
+	}
+	for i := range sched.Jobs {
+		p := &sched.Jobs[i]
+		if p.Unplaced != "" {
+			continue
+		}
+		sched.Makespan = max(sched.Makespan, p.Finish)
+		if d := jobs[i].job.Deadline; d > 0 && p.Finish > d {
+			p.MissedDeadline = true
+		}
+	}
+	if sched.Makespan > 0 {
+		sched.Utilization = st.busy / (float64(sched.GPUs) * sched.Makespan)
+	}
+	return sched, nil
+}
+
+func (st *state) enqueue(j *rjob) {
+	st.queue = append(st.queue, &qentry{
+		j:        j,
+		ready:    j.job.Submit,
+		remIters: j.job.Iterations,
+		res:      &st.results[j.idx],
+	})
+	st.sortQueue()
+}
+
+func (st *state) sortQueue() {
+	sort.SliceStable(st.queue, func(a, b int) bool {
+		if st.queue[a].ready != st.queue[b].ready {
+			return st.queue[a].ready < st.queue[b].ready
+		}
+		return st.queue[a].j.idx < st.queue[b].j.idx
+	})
+}
+
+// freeNodes lists idle alive nodes ascending.
+func (st *state) freeNodes() []int {
+	var out []int
+	for i, f := range st.free {
+		if f {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// candidates enumerates the slices to score for a demand of need nodes,
+// NIC-affinity first per the paper's cluster-grouping rule: single
+// clusters in cluster order, then NIC-homogeneous cross-cluster groups
+// in fixed technology order, then the whole-fleet fallback. Each slice
+// takes the lowest-index free nodes of its group; duplicates collapse.
+func (st *state) candidates(need int) [][]int {
+	free := st.freeNodes()
+	if len(free) < need {
+		return nil
+	}
+	var cands [][]int
+	seen := make(map[string]bool)
+	add := func(nodes []int) {
+		key := fmt.Sprint(nodes)
+		if !seen[key] {
+			seen[key] = true
+			cands = append(cands, nodes)
+		}
+	}
+	topo := st.sch.topo
+	for _, c := range topo.Clusters {
+		var in []int
+		for _, n := range free {
+			if topo.Node(n).Cluster == c.Index {
+				in = append(in, n)
+			}
+		}
+		if len(in) >= need {
+			add(in[:need])
+		}
+	}
+	for _, nic := range []topology.NICType{topology.InfiniBand, topology.RoCE, topology.Ethernet} {
+		var in []int
+		for _, n := range free {
+			if topo.Clusters[topo.Node(n).Cluster].NICType == nic {
+				in = append(in, n)
+			}
+		}
+		if len(in) >= need {
+			add(in[:need])
+		}
+	}
+	add(free[:need])
+	return cands
+}
+
+// score carves the slice — folding each node's cumulative degrade
+// factors into the carved overrides — and runs the joint (t, p) search
+// on it. nodes must be ascending.
+func (st *state) score(j *rjob, nodes []int) (choice, error) {
+	spec, err := st.sch.topo.CarveSpec(nodes)
+	if err != nil {
+		return choice{}, err
+	}
+	pos := 0
+	for ci := range spec.Clusters {
+		cs := &spec.Clusters[ci]
+		for k := 0; k < cs.Nodes; k++ {
+			if f, ok := st.factors[nodes[pos]]; ok {
+				ov := cs.Overrides[k]
+				ov.GbpsPerNIC *= f.rdma
+				ov.EthGbps *= f.eth
+				cs.Overrides[k] = ov
+			}
+			pos++
+		}
+	}
+	sub, err := topology.Build(spec)
+	if err != nil {
+		return choice{}, err
+	}
+	pl, plan, err := st.sch.searchSlice(sub, j.spec, j.fw)
+	if err != nil {
+		return choice{}, err
+	}
+	return choice{nodes: nodes, planner: pl, plan: plan}, nil
+}
+
+// pick scores every candidate slice concurrently on the engine pool and
+// selects the highest simulated throughput, ties broken by candidate
+// input order — identical to a sequential scan.
+func (st *state) pick(q *qentry) (choice, bool) {
+	cands := st.candidates(q.j.nodes)
+	if len(cands) == 0 {
+		q.lastErr = fmt.Sprintf("needs %d free node(s)", q.j.nodes)
+		return choice{}, false
+	}
+	chs := make([]choice, len(cands))
+	errs := make([]error, len(cands))
+	st.sch.eng.Go(len(cands), func(i int) {
+		chs[i], errs[i] = st.score(q.j, cands[i])
+	})
+	best := -1
+	for i := range cands {
+		if errs[i] != nil {
+			if q.lastErr == "" {
+				q.lastErr = errs[i].Error()
+			}
+			continue
+		}
+		if best < 0 || chs[i].plan.Report.Throughput > chs[best].plan.Report.Throughput {
+			best = i
+		}
+	}
+	if best < 0 {
+		return choice{}, false
+	}
+	return chs[best], true
+}
+
+// start commits a placement choice.
+func (st *state) start(q *qentry, ch choice, backfilled bool) {
+	for _, n := range ch.nodes {
+		st.free[n] = false
+	}
+	r := &run{
+		q:        q,
+		nodes:    append([]int(nil), ch.nodes...),
+		planner:  ch.planner,
+		plan:     ch.plan,
+		iters:    q.remIters,
+		segStart: st.clock,
+		finish:   st.clock + float64(q.remIters)*ch.plan.Report.IterSeconds,
+	}
+	st.runs = append(st.runs, r)
+	res := q.res
+	if !q.started {
+		q.started = true
+		res.Start = st.clock
+		res.Waited = st.clock - q.j.job.Submit
+	}
+	res.Nodes = r.nodes
+	res.Finish = r.finish
+	if backfilled {
+		res.Backfilled = true
+	}
+	st.recordPlan(res, ch.plan)
+}
+
+func (st *state) recordPlan(res *Placement, plan *core.Plan) {
+	res.Degrees = Degrees{Tensor: plan.Degrees.T, Pipeline: plan.Degrees.P, Data: plan.Degrees.D}
+	res.IterSeconds = plan.Report.IterSeconds
+	res.Throughput = plan.Report.Throughput
+	res.TFLOPS = plan.Report.TFLOPS
+	res.Partition = plan.Partition.String()
+}
+
+// placePass is the FIFO + EASY-backfill scheduling step: start the queue
+// head whenever it fits; otherwise reserve its earliest possible start
+// and let later jobs that fit the idle nodes jump ahead only if they
+// finish by the reservation, so backfilling never delays the head.
+func (st *state) placePass() {
+	for len(st.queue) > 0 {
+		head := st.queue[0]
+		if ch, ok := st.pick(head); ok {
+			st.start(head, ch, false)
+			st.queue = st.queue[1:]
+			continue
+		}
+		tHead := st.reserveTime(head.j.nodes)
+		progressed := false
+		for i := 1; i < len(st.queue); i++ {
+			q := st.queue[i]
+			if q.j.nodes > len(st.freeNodes()) {
+				continue
+			}
+			ch, ok := st.pick(q)
+			if !ok {
+				continue
+			}
+			if st.clock+float64(q.remIters)*ch.plan.Report.IterSeconds <= tHead {
+				st.start(q, ch, true)
+				st.queue = append(st.queue[:i], st.queue[i+1:]...)
+				progressed = true
+				break
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// reserveTime is the earliest instant the queue head could have enough
+// free nodes, assuming running jobs finish as projected: +Inf when even
+// the whole surviving fleet is too small.
+func (st *state) reserveTime(need int) float64 {
+	freeCount := len(st.freeNodes())
+	if freeCount >= need {
+		return st.clock
+	}
+	runs := append([]*run(nil), st.runs...)
+	sort.SliceStable(runs, func(a, b int) bool {
+		if runs[a].finish != runs[b].finish {
+			return runs[a].finish < runs[b].finish
+		}
+		return runs[a].q.j.idx < runs[b].q.j.idx
+	})
+	for _, r := range runs {
+		freeCount += len(r.nodes)
+		if freeCount >= need {
+			return r.finish
+		}
+	}
+	return math.Inf(1)
+}
+
+// completeFinished retires every run projected to finish by the clock,
+// in (finish, trace index) order.
+func (st *state) completeFinished() {
+	var done []*run
+	keep := st.runs[:0]
+	for _, r := range st.runs {
+		if r.finish <= st.clock {
+			done = append(done, r)
+		} else {
+			keep = append(keep, r)
+		}
+	}
+	st.runs = keep
+	sort.SliceStable(done, func(a, b int) bool {
+		if done[a].finish != done[b].finish {
+			return done[a].finish < done[b].finish
+		}
+		return done[a].q.j.idx < done[b].q.j.idx
+	})
+	for _, r := range done {
+		st.busy += st.gpus(r) * (r.finish - r.segStart)
+		for _, n := range r.nodes {
+			if !st.failed[n] {
+				st.free[n] = true
+			}
+		}
+		r.q.res.Finish = r.finish
+	}
+}
+
+func (st *state) gpus(r *run) float64 {
+	return float64(len(r.nodes) * st.sch.topo.GPUsPerNode)
+}
+
+// segmentProgress closes the books on a run segment at the clock and
+// returns the iterations still owed (at least one: a run finishing
+// exactly now was already retired by completeFinished).
+func (st *state) segmentProgress(r *run) int {
+	st.busy += st.gpus(r) * (st.clock - r.segStart)
+	done := int((st.clock - r.segStart) / r.plan.Report.IterSeconds)
+	rem := r.iters - done
+	if rem < 1 {
+		rem = 1
+	}
+	return rem
+}
+
+// applyEvent folds one scenario event into the replay state.
+func (st *state) applyEvent(ev scenario.Event) {
+	switch ev.Kind {
+	case scenario.FailNode:
+		if st.failed[ev.Node] {
+			return
+		}
+		st.failed[ev.Node] = true
+		st.free[ev.Node] = false
+		st.evictOn(ev.Node)
+	case scenario.RestoreNode:
+		_, degraded := st.factors[ev.Node]
+		delete(st.factors, ev.Node)
+		if st.failed[ev.Node] {
+			delete(st.failed, ev.Node)
+			st.free[ev.Node] = true
+			return
+		}
+		// A degraded (not failed) node returns to full capacity: jobs
+		// running on it replan in place onto the restored slice. Restoring
+		// a node that was never touched is a no-op — replanning anyway
+		// would discard partial-iteration progress for nothing.
+		if degraded {
+			st.replanOn(ev.Node)
+		}
+	case scenario.DegradeNIC:
+		class, err := ev.Class.NetClass()
+		if err != nil {
+			return // Validate rejected this already; fold defensively
+		}
+		f, ok := st.factors[ev.Node]
+		if !ok {
+			f = nodeFactors{rdma: 1, eth: 1}
+		}
+		switch class {
+		case netsim.RDMA:
+			f.rdma *= ev.Factor
+		case netsim.Ether:
+			f.eth *= ev.Factor
+		default:
+			return // intra-node degradation has no carving representation
+		}
+		st.factors[ev.Node] = f
+		st.replanOn(ev.Node)
+	}
+}
+
+// evictOn requeues every job whose slice contains the failed node,
+// measuring what replanning on the residual slice would recover via the
+// core replanner (reuse of the single-job fault path).
+func (st *state) evictOn(node int) {
+	var hit []*run
+	keep := st.runs[:0]
+	for _, r := range st.runs {
+		contains := false
+		for _, n := range r.nodes {
+			if n == node {
+				contains = true
+				break
+			}
+		}
+		if contains {
+			hit = append(hit, r)
+		} else {
+			keep = append(keep, r)
+		}
+	}
+	st.runs = keep
+	sort.SliceStable(hit, func(a, b int) bool { return hit[a].q.j.idx < hit[b].q.j.idx })
+	for _, r := range hit {
+		rem := st.segmentProgress(r)
+		q := r.q
+		q.remIters = rem
+		q.ready = st.clock
+		q.res.Evictions++
+		q.res.Recovery = st.recovery(r, node)
+		for _, n := range r.nodes {
+			if !st.failed[n] {
+				st.free[n] = true
+			}
+		}
+		st.queue = append(st.queue, q)
+	}
+	if len(hit) > 0 {
+		st.sortQueue()
+	}
+}
+
+// recovery replays the failure on the job's own slice through
+// core.ReplanFrom: the factor compares a fresh joint search on the
+// residual slice against the old plan limping under the failure. A slice
+// with no survivors (or no feasible residual plan) reports 0.
+func (st *state) recovery(r *run, failedNode int) float64 {
+	local := -1
+	for i, n := range r.nodes {
+		if n == failedNode {
+			local = i
+			break
+		}
+	}
+	if local < 0 {
+		return 0
+	}
+	sc := &scenario.Scenario{
+		Name:   "eviction",
+		Events: []scenario.Event{{Kind: scenario.FailNode, At: 0, Node: local}},
+	}
+	rep, err := r.planner.ReplanFrom(r.plan, sc, math.Inf(1))
+	if err != nil {
+		return 0
+	}
+	f := rep.RecoveryFactor()
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0
+	}
+	return f
+}
+
+// replanOn re-plans, in place and on their own nodes, the jobs whose
+// slice contains the affected node: the slice is re-carved under the
+// current degrade factors and the joint search re-run, so the remaining
+// iterations proceed at the slice's new speed.
+func (st *state) replanOn(node int) {
+	var hit []*run
+	for _, r := range st.runs {
+		for _, n := range r.nodes {
+			if n == node {
+				hit = append(hit, r)
+				break
+			}
+		}
+	}
+	sort.SliceStable(hit, func(a, b int) bool { return hit[a].q.j.idx < hit[b].q.j.idx })
+	for _, r := range hit {
+		rem := st.segmentProgress(r)
+		ch, err := st.score(r.q.j, r.nodes)
+		if err != nil {
+			// The degraded slice admits no plan; let the old projection
+			// stand rather than lose the job.
+			r.segStart = st.clock
+			r.iters = rem
+			r.finish = st.clock + float64(rem)*r.plan.Report.IterSeconds
+			r.q.res.Finish = r.finish
+			continue
+		}
+		r.planner, r.plan = ch.planner, ch.plan
+		r.segStart = st.clock
+		r.iters = rem
+		r.finish = st.clock + float64(rem)*ch.plan.Report.IterSeconds
+		r.q.res.Finish = r.finish
+		r.q.res.Replans++
+		st.recordPlan(r.q.res, ch.plan)
+	}
+}

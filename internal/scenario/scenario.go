@@ -68,7 +68,12 @@ const (
 	ClassIntra Class = "Intra"
 )
 
-// NetClass resolves the JSON name to the netsim class, tolerating common
+// NetClass resolves the class name for consumers outside the package
+// (the fleet scheduler folds degrade events itself), defaulting the
+// empty string to RDMA like degrade_nic does.
+func (c Class) NetClass() (netsim.Class, error) { return c.netClass(netsim.RDMA) }
+
+// netClass resolves the JSON name to the netsim class, tolerating common
 // spellings. def is the per-kind default for the empty string.
 func (c Class) netClass(def netsim.Class) (netsim.Class, error) {
 	switch c {
@@ -204,6 +209,16 @@ func (s *Scenario) ordered() []Event {
 	evs := append([]Event(nil), s.Events...)
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
 	return evs
+}
+
+// Ordered returns a copy of the events in application order — (At,
+// declaration index), the exact order Bind and StateAt use — for
+// consumers that replay the timeline themselves (the fleet scheduler).
+func (s *Scenario) Ordered() []Event {
+	if s.Empty() {
+		return nil
+	}
+	return s.ordered()
 }
 
 // Load parses a scenario from JSON, rejecting unknown fields, and

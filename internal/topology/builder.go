@@ -75,9 +75,18 @@ func Build(spec Spec) (*Topology, error) {
 	if mem == 0 {
 		mem = A100MemBytes
 	}
+	if mem < 0 {
+		return nil, fmt.Errorf("topology: negative GPU memory %d", mem)
+	}
 	eth := spec.EthGbps
 	if eth == 0 {
 		eth = EthernetGbps
+	}
+	if eth < 0 {
+		// A negative line rate would also poison carved sub-topologies:
+		// CarveSpec carries node capacities as overrides, and overrides
+		// reject negatives.
+		return nil, fmt.Errorf("topology: negative Ethernet bandwidth %g", eth)
 	}
 	intra := spec.Intra
 	if intra != PCIe && intra != NVLink {

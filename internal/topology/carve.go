@@ -1,0 +1,96 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Carving cuts a node-disjoint sub-topology out of a shared fleet so one
+// training job can be planned on exactly the nodes it was allotted. The
+// carved slice is a first-class Topology: clusters keep their NIC
+// technology and relative order, and the §2.4 global rank numbering
+//
+//	rank = G*((Σ_{a<i} f_a) + k-1) + j
+//
+// is re-derived from scratch over the surviving nodes rather than masked
+// out of the parent's numbering — every consumer downstream (parallel
+// assignment, communicator construction, the netsim fabric) assumes dense
+// 0-based ranks, and a re-derived slice satisfies Validate exactly like a
+// freshly built topology (see DESIGN.md decision 9).
+
+// CarveSpec folds the selected nodes into a buildable Spec: nodes are
+// grouped by their original cluster (clusters in original order, nodes in
+// ascending global index), empty clusters are dropped, and every node's
+// actual NIC capacities — including any per-node Overrides the parent was
+// built with — are carried as overrides of the carved spec.
+//
+// The node set must be non-empty, in range, and free of duplicates.
+func (t *Topology) CarveSpec(nodes []int) (Spec, error) {
+	if len(nodes) == 0 {
+		return Spec{}, fmt.Errorf("topology: carve of zero nodes")
+	}
+	picked := append([]int(nil), nodes...)
+	sort.Ints(picked)
+	for i, idx := range picked {
+		if idx < 0 || idx >= t.NumNodes() {
+			return Spec{}, fmt.Errorf("topology: carve node %d outside topology (%d nodes)", idx, t.NumNodes())
+		}
+		if i > 0 && picked[i-1] == idx {
+			return Spec{}, fmt.Errorf("topology: carve node %d selected twice", idx)
+		}
+	}
+	n0 := t.Node(picked[0])
+	spec := Spec{
+		GPUsPerNode: t.GPUsPerNode,
+		GPUMemBytes: n0.MemBytesPerGPU,
+		Intra:       n0.Intra,
+		EthGbps:     n0.EthNIC.Gbps,
+	}
+	// Global node indices ascend cluster by cluster, so one ordered pass
+	// over the sorted selection groups it by original cluster.
+	i := 0
+	for _, c := range t.Clusters {
+		base := c.Nodes[0]
+		cs := ClusterSpec{
+			Name:        c.Name,
+			NIC:         c.NICType,
+			NICsPerNode: len(base.NICs),
+			Overrides:   make(map[int]NodeOverride),
+		}
+		if len(base.NICs) > 0 {
+			cs.GbpsPerNIC = base.NICs[0].Gbps
+		}
+		for i < len(picked) && t.Node(picked[i]).Cluster == c.Index {
+			n := t.Node(picked[i])
+			ov := NodeOverride{EthGbps: n.EthNIC.Gbps}
+			if len(n.NICs) > 0 {
+				ov.GbpsPerNIC = n.NICs[0].Gbps
+			}
+			cs.Overrides[cs.Nodes] = ov
+			cs.Nodes++
+			i++
+		}
+		if cs.Nodes > 0 {
+			spec.Clusters = append(spec.Clusters, cs)
+		}
+	}
+	return spec, nil
+}
+
+// Carve builds the sub-topology over the selected nodes (original global
+// indices, any order). The carved node k (new global index) corresponds
+// to the k-th smallest selected original index; callers that need to map
+// placements back to the parent keep the sorted selection as that
+// mapping. Carving every node reproduces the parent's structural
+// fingerprint exactly.
+func (t *Topology) Carve(nodes []int) (*Topology, error) {
+	spec, err := t.CarveSpec(nodes)
+	if err != nil {
+		return nil, err
+	}
+	sub, err := Build(spec)
+	if err != nil {
+		return nil, fmt.Errorf("topology: carve: %w", err)
+	}
+	return sub, nil
+}

@@ -1,0 +1,142 @@
+package topology
+
+import (
+	"testing"
+)
+
+// fleetTopo builds a three-cluster fleet with a per-node override, the
+// shape the fleet scheduler carves: IB and RoCE clusters plus a commodity
+// Ethernet cluster, with node 1 degraded to 150 Gb/s per NIC and a
+// 10 Gb/s Ethernet card.
+func fleetTopo(t *testing.T) *Topology {
+	t.Helper()
+	topo, err := Build(Spec{Clusters: []ClusterSpec{
+		{NIC: InfiniBand, Nodes: 3, Overrides: map[int]NodeOverride{
+			1: {GbpsPerNIC: 150, EthGbps: 10},
+		}},
+		{NIC: RoCE, Nodes: 2},
+		{NIC: Ethernet, Nodes: 2},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestCarveRederivesRankNumbering(t *testing.T) {
+	topo := fleetTopo(t)
+	// Carve a cross-cluster slice out of the middle: IB node 2, both RoCE
+	// nodes, one Ethernet node, given in scrambled order.
+	sub, err := topo.Carve([]int{4, 2, 6, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatalf("carved slice fails §2.4 validation: %v", err)
+	}
+	if got, want := sub.NumNodes(), 4; got != want {
+		t.Fatalf("carved %d nodes, want %d", got, want)
+	}
+	if got, want := sub.NumClusters(), 3; got != want {
+		t.Fatalf("carved %d clusters, want %d", got, want)
+	}
+	// Ranks must be re-derived dense from 0, cluster by cluster.
+	want := 0
+	for ci, c := range sub.Clusters {
+		for k, n := range c.Nodes {
+			for j, d := range n.Devices {
+				if got := sub.Rank(ci, k, j); got != want || d.Rank != want {
+					t.Fatalf("cluster %d node %d dev %d: Rank()=%d dev.Rank=%d want %d",
+						ci, k, j, got, d.Rank, want)
+				}
+				want++
+			}
+		}
+	}
+	// NIC technologies survive the carve in original cluster order.
+	for i, nic := range []NICType{InfiniBand, RoCE, Ethernet} {
+		if sub.Clusters[i].NICType != nic {
+			t.Fatalf("cluster %d carved as %v, want %v", i, sub.Clusters[i].NICType, nic)
+		}
+	}
+}
+
+func TestCarveInheritsOverrides(t *testing.T) {
+	topo := fleetTopo(t)
+	// Original node 1 carries the degraded override; carve it with a
+	// pristine neighbour and check both survive verbatim.
+	sub, err := topo.Carve([]int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pristine, degraded := sub.Node(0), sub.Node(1)
+	if got := pristine.NICs[0].Gbps; got != IBGbps {
+		t.Fatalf("pristine node carved with %g Gb/s per NIC, want %d", got, IBGbps)
+	}
+	if got := degraded.NICs[0].Gbps; got != 150 {
+		t.Fatalf("override lost: carved node has %g Gb/s per NIC, want 150", got)
+	}
+	if got := degraded.EthNIC.Gbps; got != 10 {
+		t.Fatalf("Ethernet override lost: carved node has %g Gb/s, want 10", got)
+	}
+	if got := pristine.EthNIC.Gbps; got != EthernetGbps {
+		t.Fatalf("pristine node carved with %g Gb/s Ethernet, want %d", got, EthernetGbps)
+	}
+}
+
+func TestCarveAllNodesReproducesFingerprint(t *testing.T) {
+	topo := fleetTopo(t)
+	all := make([]int, topo.NumNodes())
+	for i := range all {
+		all[i] = i
+	}
+	sub, err := topo.Carve(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sub.Fingerprint(), topo.Fingerprint(); got != want {
+		t.Fatalf("full carve drifted structurally:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestCarveDisjointSlices(t *testing.T) {
+	topo := fleetTopo(t)
+	a, err := topo.Carve([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := topo.Carve([]int{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disjoint selections must never alias parent structures: carving is a
+	// rebuild, not a view, so two slices can be planned concurrently.
+	for _, n := range a.Nodes() {
+		for _, m := range b.Nodes() {
+			if n == m {
+				t.Fatal("carved slices share a node pointer")
+			}
+		}
+	}
+	for _, n := range append(a.Nodes(), b.Nodes()...) {
+		for _, p := range topo.Nodes() {
+			if n == p {
+				t.Fatal("carved slice aliases the parent topology")
+			}
+		}
+	}
+}
+
+func TestCarveRejectsBadSelections(t *testing.T) {
+	topo := fleetTopo(t)
+	for name, nodes := range map[string][]int{
+		"empty":        {},
+		"out of range": {0, 7},
+		"negative":     {-1},
+		"duplicate":    {2, 2},
+	} {
+		if _, err := topo.Carve(nodes); err == nil {
+			t.Errorf("%s selection accepted", name)
+		}
+	}
+}

@@ -16,6 +16,10 @@ func FuzzBuildTopology(f *testing.F) {
 	f.Add([]byte{3, 1, 4, 2, 2, 0, 6, 16, 100, 3, 200, 25}) // three clusters, overrides
 	f.Add([]byte{})                                         // no clusters: must error, not panic
 	f.Add([]byte{255, 255, 255, 255})
+	// Multi-cluster fleet shapes the carve path slices: IB+RoCE+Eth with
+	// per-node overrides, and a wide four-cluster spread.
+	f.Add([]byte{4, 2, 0, 25, 3, 1, 3, 4, 100, 1, 3, 75, 10, 2, 2, 2, 0, 0, 0, 1, 0, 0})
+	f.Add([]byte{8, 4, 1, 25, 4, 1, 2, 4, 200, 0, 2, 2, 2, 200, 0, 0, 4, 0, 0, 1, 1, 1, 2, 50, 0})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		spec := decodeSpec(data)
@@ -54,6 +58,86 @@ func FuzzBuildTopology(f *testing.F) {
 		}
 		if topo.Fingerprint() != topo2.Fingerprint() {
 			t.Fatalf("fingerprint not deterministic:\n%s\n%s", topo.Fingerprint(), topo2.Fingerprint())
+		}
+	})
+}
+
+// FuzzCarve cuts arbitrary node selections out of arbitrary built
+// topologies. A valid selection must carve to a topology that passes
+// Validate (dense re-derived §2.4 ranks), keeps every carved node's NIC
+// capacities (per-node Overrides included), and partitions cleanly: the
+// complement carve is node-disjoint from the slice and the two cover the
+// parent exactly. Invalid selections must error, never panic.
+func FuzzCarve(f *testing.F) {
+	f.Add([]byte{2, 1, 2, 2, 4, 8, 0, 0}, []byte{0b101})
+	f.Add([]byte{3, 1, 4, 2, 2, 0, 6, 16, 100, 3, 200, 25}, []byte{0b110101})
+	f.Add([]byte{4, 2, 0, 25, 3, 1, 3, 4, 100, 1, 3, 75, 10, 2, 2, 2, 0, 0, 0, 1, 0, 0}, []byte{0xFF})
+	f.Add([]byte{2, 1, 2, 2, 4, 8, 0, 0}, []byte{})  // empty selection: error
+	f.Add([]byte{2, 1, 2, 2, 4, 8, 0, 0}, []byte{0}) // no bits set: error
+
+	f.Fuzz(func(t *testing.T, specData, selData []byte) {
+		topo, err := Build(decodeSpec(specData))
+		if err != nil {
+			return
+		}
+		// Selection = bitmask over the node count, read from selData.
+		var picked, rest []int
+		for i := 0; i < topo.NumNodes(); i++ {
+			if i/8 < len(selData) && selData[i/8]&(1<<(i%8)) != 0 {
+				picked = append(picked, i)
+			} else {
+				rest = append(rest, i)
+			}
+		}
+		sub, err := topo.Carve(picked)
+		if len(picked) == 0 {
+			if err == nil {
+				t.Fatal("empty carve did not error")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("carve of a valid selection failed: %v (picked %v)", err, picked)
+		}
+		if err := sub.Validate(); err != nil {
+			t.Fatalf("carved slice invalid: %v (picked %v)", err, picked)
+		}
+		if sub.NumNodes() != len(picked) {
+			t.Fatalf("carved %d nodes from a %d-node selection", sub.NumNodes(), len(picked))
+		}
+		// Carved node k is the k-th smallest original index (picked is
+		// already ascending): capacities must match verbatim.
+		for k, orig := range picked {
+			want, got := topo.Node(orig), sub.Node(k)
+			if want.RDMAGbps() != got.RDMAGbps() || want.EthNIC.Gbps != got.EthNIC.Gbps ||
+				want.RDMAType() != got.RDMAType() || len(want.Devices) != len(got.Devices) {
+				t.Fatalf("carved node %d drifted from original node %d: %v/%g/%g vs %v/%g/%g",
+					k, orig, got.RDMAType(), got.RDMAGbps(), got.EthNIC.Gbps,
+					want.RDMAType(), want.RDMAGbps(), want.EthNIC.Gbps)
+			}
+		}
+		// The complement carve partitions the fleet with the slice.
+		if len(rest) > 0 {
+			other, err := topo.Carve(rest)
+			if err != nil {
+				t.Fatalf("complement carve failed: %v", err)
+			}
+			if sub.NumNodes()+other.NumNodes() != topo.NumNodes() {
+				t.Fatalf("carves do not partition: %d + %d != %d",
+					sub.NumNodes(), other.NumNodes(), topo.NumNodes())
+			}
+		} else {
+			// Full carve: the slice must be structurally identical.
+			if sub.Fingerprint() != topo.Fingerprint() {
+				t.Fatalf("full carve drifted:\n got %s\nwant %s", sub.Fingerprint(), topo.Fingerprint())
+			}
+		}
+		// Out-of-range and duplicate selections must error.
+		if _, err := topo.Carve(append(append([]int(nil), picked...), topo.NumNodes())); err == nil {
+			t.Fatal("out-of-range carve accepted")
+		}
+		if _, err := topo.Carve(append(append([]int(nil), picked...), picked[0])); err == nil {
+			t.Fatal("duplicate carve accepted")
 		}
 	})
 }
