@@ -247,6 +247,7 @@ func BenchmarkFleetSchedule(b *testing.B) {
 		b.Fatal(err)
 	}
 	eng := NewEngine(EngineConfig{})
+	b.ReportAllocs()
 	b.ResetTimer()
 	var sched *FleetSchedule
 	for i := 0; i < b.N; i++ {
@@ -258,6 +259,95 @@ func BenchmarkFleetSchedule(b *testing.B) {
 	b.ReportMetric(float64(len(sched.Jobs)), "jobs")
 	b.ReportMetric(sched.Makespan, "makespan-s")
 	b.ReportMetric(100*sched.Utilization, "util-%")
+}
+
+// BenchmarkFleetScheduleWarm measures the same 12-job replay against a
+// pre-warmed engine: every slice plan comes from the engine-shared plan
+// cache, isolating the scheduler's own bookkeeping (carve, fingerprint,
+// queue, clock) from the joint-search cost that dominates the cold run.
+// This is the steady-state cost a long-lived server pays per /v1/jobs
+// schedule poll with a hot cache.
+func BenchmarkFleetScheduleWarm(b *testing.B) {
+	tr, err := LoadFleetTrace("internal/fleet/testdata/fleet12.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := NewEngine(EngineConfig{})
+	if _, err := ReplayFleetOn(eng, tr); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sched *FleetSchedule
+	for i := 0; i < b.N; i++ {
+		sched, err = ReplayFleetOn(eng, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(sched.Jobs)), "jobs")
+	b.ReportMetric(sched.Makespan, "makespan-s")
+}
+
+// BenchmarkFleetMutate measures the incremental rescheduling path: a
+// live FleetManager under submit / fail_node / restore / cancel churn,
+// with a schedule poll after every mutation. Each mutation invalidates
+// only the replay suffix after its change point, so a poll resumes from
+// the newest surviving checkpoint instead of replaying from virtual
+// time zero — the hot path of /v1/jobs under load.
+func BenchmarkFleetMutate(b *testing.B) {
+	tr, err := LoadFleetTrace("internal/fleet/testdata/fleet12.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo, err := tr.Fleet.Topology()
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := NewEngine(EngineConfig{})
+	m, err := NewFleetManager(eng, topo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, j := range tr.Jobs {
+		if err := m.Submit(j); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := m.Schedule(); err != nil {
+		b.Fatal(err)
+	}
+	poll := func() {
+		if _, err := m.Schedule(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	churn := FleetJob{ID: "churn", Submit: 40, GPUs: topo.GPUsPerNode, Model: FleetModel{Group: 1}}
+	fail := &Scenario{Events: []ScenarioEvent{
+		{Kind: "fail_node", At: 45, Node: 1},
+		{Kind: "restore_node", At: 60, Node: 1},
+	}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Submit(churn); err != nil {
+			b.Fatal(err)
+		}
+		poll()
+		if err := m.SetScenario(fail); err != nil {
+			b.Fatal(err)
+		}
+		poll()
+		if err := m.SetScenario(nil); err != nil {
+			b.Fatal(err)
+		}
+		poll()
+		if !m.Cancel(churn.ID) {
+			b.Fatal("cancel failed")
+		}
+		poll()
+	}
+	b.ReportMetric(4, "polls/op")
 }
 
 // BenchmarkPlannerSearch measures the pipeline-degree search itself.

@@ -2,17 +2,22 @@
 // `go test -bench` output, takes the fastest repetition of each gated
 // benchmark (the minimum is the least noisy location estimate on shared
 // runners), compares it to the committed ledger, and exits non-zero when
-// a benchmark regressed by more than the allowed fraction.
+// a benchmark regressed by more than the allowed fraction. When the
+// ledger records allocs/op (requires -benchmem output), allocation count
+// is gated the same way — a concurrency refactor can't silently trade
+// speed for garbage.
 //
 // Usage:
 //
-//	go test -run '^$' -bench '^(BenchmarkTable3|BenchmarkPlanBatch|BenchmarkFleetSchedule)$' -benchtime 1x -count 5 . | tee bench.txt
+//	go test -run '^$' -bench '^(BenchmarkTable3|BenchmarkPlanBatch|BenchmarkFleetSchedule|BenchmarkFleetScheduleWarm|BenchmarkFleetMutate)$' -benchmem -count 3 . | tee bench.txt
 //	holmes-benchgate -max-regress 0.25 < bench.txt
 //	holmes-benchgate -gate BenchmarkTable3=BENCH_baseline.json -gate BenchmarkPlanBatch=BENCH_serve.json < bench.txt
 //
-// Ledgers are the repo's BENCH_*.json documents; the gate reads the
-// `after.ns_per_op` field — the number the recording session measured
-// after its change, i.e. the level later sessions must hold.
+// Ledgers are the repo's BENCH_*.json documents. A ledger either gates
+// one benchmark through its top-level `after.ns_per_op` — the number the
+// recording session measured after its change, i.e. the level later
+// sessions must hold — or many through a `benchmarks` section mapping
+// benchmark name to {ns_per_op, allocs_per_op}.
 package main
 
 import (
@@ -41,41 +46,62 @@ func (g gates) Set(s string) error {
 	return nil
 }
 
-// ledger is the subset of a BENCH_*.json document the gate reads.
-type ledger struct {
-	After struct {
-		NsPerOp float64 `json:"ns_per_op"`
-	} `json:"after"`
+// target is one gated level: ns/op always, allocs/op when the ledger
+// records it (0 = not gated).
+type target struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 }
 
-// parseBench extracts min ns/op per benchmark from `go test -bench`
+// ledger is the subset of a BENCH_*.json document the gate reads: the
+// single-benchmark after section, or the multi-benchmark section keyed
+// by benchmark name (which wins for names it covers).
+type ledger struct {
+	After      target            `json:"after"`
+	Benchmarks map[string]target `json:"benchmarks"`
+}
+
+// resolve picks the gate level for one benchmark name.
+func (l ledger) resolve(name string) (target, bool) {
+	if t, ok := l.Benchmarks[name]; ok && t.NsPerOp > 0 {
+		return t, true
+	}
+	if l.After.NsPerOp > 0 {
+		return l.After, true
+	}
+	return target{}, false
+}
+
+// measurement is one parsed benchmark result: min ns/op across
+// repetitions, and the allocs/op of that same fastest repetition (-1
+// when the output had no -benchmem columns).
+type measurement struct {
+	NsPerOp     float64
+	AllocsPerOp float64
+}
+
+// parseBench extracts per-benchmark measurements from `go test -bench`
 // output. Benchmark lines look like
 //
-//	BenchmarkPlanBatch-8   3   98861041 ns/op   32.00 plans/req ...
+//	BenchmarkPlanBatch-8   3   98861041 ns/op   32.00 plans/req  33411216 B/op  648282 allocs/op
 //
 // the -8 GOMAXPROCS suffix is stripped, and multiple repetitions (from
-// -count) collapse to their minimum.
-func parseBench(r io.Reader) (map[string]float64, error) {
-	best := make(map[string]float64)
+// -count) collapse to the one with minimum ns/op.
+func parseBench(r io.Reader) (map[string]measurement, error) {
+	best := make(map[string]measurement)
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		nsIdx := -1
-		for i, f := range fields {
-			if f == "ns/op" {
-				nsIdx = i - 1
-				break
-			}
-		}
-		if nsIdx < 1 {
+		ns, ok := metric(fields, "ns/op")
+		if !ok {
 			continue
 		}
-		ns, err := strconv.ParseFloat(fields[nsIdx], 64)
-		if err != nil {
-			continue
+		m := measurement{NsPerOp: ns, AllocsPerOp: -1}
+		if allocs, ok := metric(fields, "allocs/op"); ok {
+			m.AllocsPerOp = allocs
 		}
 		name := fields[0]
 		if i := strings.LastIndex(name, "-"); i > 0 {
@@ -83,24 +109,58 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 				name = name[:i]
 			}
 		}
-		if cur, ok := best[name]; !ok || ns < cur {
-			best[name] = ns
+		if cur, seen := best[name]; !seen || m.NsPerOp < cur.NsPerOp {
+			best[name] = m
 		}
 	}
 	return best, sc.Err()
 }
 
+// metric extracts the value preceding a unit token ("ns/op",
+// "allocs/op") from one benchmark line.
+func metric(fields []string, unit string) (float64, bool) {
+	for i := 1; i < len(fields); i++ {
+		if fields[i] != unit {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[i-1], 64)
+		if err != nil {
+			return 0, false
+		}
+		return v, true
+	}
+	return 0, false
+}
+
+// check gates one measured value against one ledger level; returns true
+// on regression and prints the verdict line either way.
+func check(name, what string, got, want, maxRegress float64) bool {
+	limit := want * (1 + maxRegress)
+	delta := (got - want) / want * 100
+	verdict := "ok"
+	regressed := got > limit
+	if regressed {
+		verdict = "REGRESSION"
+	}
+	fmt.Printf("%-28s measured %14.0f %-9s ledger %14.0f  %+6.1f%%  (limit %+.0f%%)  %s\n",
+		name, got, what, want, delta, maxRegress*100, verdict)
+	return regressed
+}
+
 func main() {
 	g := gates{}
 	maxRegress := flag.Float64("max-regress", 0.25, "allowed fractional ns/op regression vs the ledger")
-	flag.Var(g, "gate", "BenchmarkName=ledger.json (repeatable; default gates Table3, PlanBatch, and FleetSchedule)")
+	maxAllocRegress := flag.Float64("max-alloc-regress", 0.25, "allowed fractional allocs/op regression vs the ledger (for ledger entries that record allocs_per_op)")
+	flag.Var(g, "gate", "BenchmarkName=ledger.json (repeatable; default gates Table3, PlanBatch, and the three fleet benchmarks)")
 	input := flag.String("input", "-", "bench output file (- = stdin)")
 	flag.Parse()
 	if len(g) == 0 {
 		g = gates{
-			"BenchmarkTable3":        "BENCH_baseline.json",
-			"BenchmarkPlanBatch":     "BENCH_serve.json",
-			"BenchmarkFleetSchedule": "BENCH_fleet.json",
+			"BenchmarkTable3":            "BENCH_baseline.json",
+			"BenchmarkPlanBatch":         "BENCH_serve.json",
+			"BenchmarkFleetSchedule":     "BENCH_fleet.json",
+			"BenchmarkFleetScheduleWarm": "BENCH_fleet.json",
+			"BenchmarkFleetMutate":       "BENCH_fleet.json",
 		}
 	}
 
@@ -128,8 +188,13 @@ func main() {
 			os.Exit(2)
 		}
 		var led ledger
-		if err := json.Unmarshal(raw, &led); err != nil || led.After.NsPerOp <= 0 {
-			fmt.Fprintf(os.Stderr, "holmes-benchgate: %s has no usable after.ns_per_op (%v)\n", path, err)
+		if err := json.Unmarshal(raw, &led); err != nil {
+			fmt.Fprintf(os.Stderr, "holmes-benchgate: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		want, ok := led.resolve(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "holmes-benchgate: %s has no usable level for %s\n", path, name)
 			os.Exit(2)
 		}
 		got, ok := measured[name]
@@ -138,15 +203,17 @@ func main() {
 			failed = true
 			continue
 		}
-		limit := led.After.NsPerOp * (1 + *maxRegress)
-		delta := (got - led.After.NsPerOp) / led.After.NsPerOp * 100
-		verdict := "ok"
-		if got > limit {
-			verdict = "REGRESSION"
+		if check(name, "ns/op", got.NsPerOp, want.NsPerOp, *maxRegress) {
 			failed = true
 		}
-		fmt.Printf("%-24s measured %14.0f ns/op  ledger %14.0f ns/op  %+6.1f%%  (limit %+.0f%%)  %s\n",
-			name, got, led.After.NsPerOp, delta, *maxRegress*100, verdict)
+		if want.AllocsPerOp > 0 {
+			if got.AllocsPerOp < 0 {
+				fmt.Fprintf(os.Stderr, "holmes-benchgate: %s gates allocs/op but the bench output has none (run with -benchmem)\n", name)
+				failed = true
+			} else if check(name, "allocs/op", got.AllocsPerOp, want.AllocsPerOp, *maxAllocRegress) {
+				failed = true
+			}
+		}
 	}
 	if failed {
 		fmt.Fprintln(os.Stderr, "holmes-benchgate: perf gate failed")

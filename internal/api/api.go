@@ -224,6 +224,7 @@ type HealthResponse struct {
 	Shards      int                      `json:"shards"`
 	Concurrency int                      `json:"concurrency"`
 	Cache       engine.CacheStats        `json:"cache"`
+	PlanCache   engine.CacheStats        `json:"plan_cache"`
 	Responses   serve.ResponseCacheStats `json:"responses"`
 	Serve       serve.StatsSnapshot      `json:"serve"`
 }
@@ -235,6 +236,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Shards:      s.pool.Shards(),
 		Concurrency: s.pool.Concurrency(),
 		Cache:       s.pool.CacheStats(),
+		PlanCache:   s.pool.PlanCacheStats(),
 		Responses:   s.pool.ResponseCacheStats(),
 		Serve:       s.pool.Stats().Snapshot(),
 	})
@@ -254,6 +256,7 @@ type StatsResponse struct {
 	// timeouts, not an undersized gate.
 	Canceled  uint64                   `json:"canceled"`
 	Cache     engine.CacheStats        `json:"cache"`
+	PlanCache engine.CacheStats        `json:"plan_cache"`
 	Responses serve.ResponseCacheStats `json:"responses"`
 	Serve     serve.StatsSnapshot      `json:"serve"`
 }
@@ -268,6 +271,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Rejected:  rejected,
 		Canceled:  canceled,
 		Cache:     s.pool.CacheStats(),
+		PlanCache: s.pool.PlanCacheStats(),
 		Responses: s.pool.ResponseCacheStats(),
 		Serve:     s.pool.Stats().Snapshot(),
 	})

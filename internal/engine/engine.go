@@ -1,9 +1,10 @@
 // Package engine owns the process-wide resources the Holmes stack used to
 // keep in package-level mutable state: the communicator (assignment +
-// world) cache, the bounded worker pool, and the netsim execution knobs.
+// world) cache, the slice-plan cache, the bounded worker pool, and the
+// netsim execution knobs.
 //
 // An Engine is immutable after construction — its configuration cannot
-// change, and its cache is internally synchronized — so any number of
+// change, and its caches are internally synchronized — so any number of
 // goroutines (concurrent planner searches, experiment grids, HTTP request
 // handlers) can share one Engine, and independent tenants can hold
 // independent Engines with different settings without interfering. That
@@ -31,6 +32,9 @@ type Config struct {
 	// CacheSize bounds the communicator cache (entries). 0 means
 	// DefaultCacheSize; negative disables caching.
 	CacheSize int
+	// PlanCacheSize bounds the shared slice-plan cache (entries). 0 means
+	// DefaultPlanCacheSize; negative disables caching.
+	PlanCacheSize int
 	// FullRecompute makes every simulation run on the netsim
 	// full-recompute oracle instead of the incremental rebalancer — the
 	// reference arm of the equivalence tests and of
@@ -43,11 +47,18 @@ type Config struct {
 // exists so a long-lived server cannot grow without limit.
 const DefaultCacheSize = 512
 
+// DefaultPlanCacheSize bounds the shared slice-plan cache when
+// Config.PlanCacheSize is zero. A fleet's distinct (slice fingerprint,
+// model, framework) triples are a small working set, but a long-lived
+// server accumulating degrade factors could mint entries without limit.
+const DefaultPlanCacheSize = 1024
+
 // Engine carries the shared, concurrency-safe execution resources.
 type Engine struct {
 	concurrency   int
 	fullRecompute bool
-	cache         worldCache
+	cache         lru[worldKey, worldVal]
+	plans         lru[any, any]
 }
 
 // New constructs an Engine, normalizing zero config fields to defaults.
@@ -62,11 +73,19 @@ func New(cfg Config) *Engine {
 	if size < 0 {
 		size = 0 // caching disabled
 	}
+	planSize := cfg.PlanCacheSize
+	if planSize == 0 {
+		planSize = DefaultPlanCacheSize
+	}
+	if planSize < 0 {
+		planSize = 0
+	}
 	e := &Engine{
 		concurrency:   cfg.Concurrency,
 		fullRecompute: cfg.FullRecompute,
 	}
 	e.cache.init(size)
+	e.plans.init(planSize)
 	return e
 }
 
@@ -99,75 +118,82 @@ type worldKey struct {
 	sel  comm.Selection
 }
 
-// worldEntry is one cache node; entries form a doubly-linked recency list
-// with head = most recently used.
-type worldEntry struct {
-	key        worldKey
-	assign     *parallel.Assignment
-	world      *comm.World
-	prev, next *worldEntry
+// worldVal is one cached assignment+world pair.
+type worldVal struct {
+	assign *parallel.Assignment
+	world  *comm.World
 }
 
-// worldCache is a bounded LRU over communicator worlds. Cached values are
-// immutable after insertion (assignments and worlds are read-only during
-// simulation), so handing the same pointers to concurrent simulations is
+// lruEntry is one cache node; entries form a doubly-linked recency list
+// with head = most recently used.
+type lruEntry[K comparable, V any] struct {
+	key        K
+	val        V
+	prev, next *lruEntry[K, V]
+}
+
+// lru is a bounded least-recently-used cache. Cached values must be
+// immutable after insertion (worlds and plans are read-only during
+// simulation), so handing the same pointers to concurrent callers is
 // safe. Eviction is strictly least-recently-used — a long search that
-// keeps touching a hot working set never loses it, unlike the previous
-// overflow behaviour that cleared the whole map.
-type worldCache struct {
+// keeps touching a hot working set never loses it, unlike the overflow
+// behaviour the per-Scheduler plan memo used to have (clear the whole
+// map at capacity).
+type lru[K comparable, V any] struct {
 	mu         sync.Mutex
 	cap        int
-	m          map[worldKey]*worldEntry
-	head, tail *worldEntry
+	m          map[K]*lruEntry[K, V]
+	head, tail *lruEntry[K, V]
 
 	hits, misses, evictions uint64
 }
 
-func (c *worldCache) init(capacity int) {
+func (c *lru[K, V]) init(capacity int) {
 	c.cap = capacity
-	c.m = make(map[worldKey]*worldEntry, capacity)
+	c.m = make(map[K]*lruEntry[K, V], min(capacity, 64))
 }
 
 // get returns the entry for key, promoting it to most-recently-used.
-func (c *worldCache) get(key worldKey) (*parallel.Assignment, *comm.World, bool) {
+func (c *lru[K, V]) get(key K) (V, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.m[key]
 	if !ok {
 		c.misses++
-		return nil, nil, false
+		var zero V
+		return zero, false
 	}
 	c.hits++
 	c.promote(e)
-	return e.assign, e.world, true
+	return e.val, true
 }
 
 // put inserts (or refreshes) key, evicting the least-recently-used entry
 // when the cache is full.
-func (c *worldCache) put(key worldKey, assign *parallel.Assignment, world *comm.World) {
+func (c *lru[K, V]) put(key K, val V) {
 	if c.cap == 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.m[key]; ok {
-		// A concurrent miss built the same world twice; keep the first,
+		// A concurrent miss built the same value twice; keep the first,
 		// the values are equivalent.
 		c.promote(e)
 		return
 	}
 	if len(c.m) >= c.cap {
-		lru := c.tail
-		c.unlink(lru)
-		delete(c.m, lru.key)
+		victim := c.tail
+		c.unlink(victim)
+		delete(c.m, victim.key)
 		c.evictions++
 	}
-	e := &worldEntry{key: key, assign: assign, world: world}
+	e := &lruEntry[K, V]{key: key, val: val}
 	c.m[key] = e
 	c.pushFront(e)
 }
 
-func (c *worldCache) promote(e *worldEntry) {
+func (c *lru[K, V]) promote(e *lruEntry[K, V]) {
 	if c.head == e {
 		return
 	}
@@ -175,7 +201,7 @@ func (c *worldCache) promote(e *worldEntry) {
 	c.pushFront(e)
 }
 
-func (c *worldCache) pushFront(e *worldEntry) {
+func (c *lru[K, V]) pushFront(e *lruEntry[K, V]) {
 	e.prev, e.next = nil, c.head
 	if c.head != nil {
 		c.head.prev = e
@@ -186,7 +212,7 @@ func (c *worldCache) pushFront(e *worldEntry) {
 	}
 }
 
-func (c *worldCache) unlink(e *worldEntry) {
+func (c *lru[K, V]) unlink(e *lruEntry[K, V]) {
 	if e.prev != nil {
 		e.prev.next = e.next
 	} else {
@@ -200,14 +226,24 @@ func (c *worldCache) unlink(e *worldEntry) {
 	e.prev, e.next = nil, nil
 }
 
+// stats snapshots the cache counters.
+func (c *lru[K, V]) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Size: len(c.m), Cap: c.cap,
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+	}
+}
+
 // World returns the parallel assignment and communicator world for the
 // degrees and NIC-selection policy on the topology, built on first use and
 // served from the engine's LRU cache afterwards. The returned structures
 // are shared and must be treated as read-only.
 func (e *Engine) World(topo *topology.Topology, deg parallel.Degrees, sel comm.Selection) (*parallel.Assignment, *comm.World, error) {
 	key := worldKey{fp: topo.Fingerprint(), t: deg.T, p: deg.P, sel: sel}
-	if assign, world, ok := e.cache.get(key); ok {
-		return assign, world, nil
+	if v, ok := e.cache.get(key); ok {
+		return v.assign, v.world, nil
 	}
 	assign, err := parallel.New(topo.NumDevices(), topo.GPUsPerNode, deg)
 	if err != nil {
@@ -217,11 +253,27 @@ func (e *Engine) World(topo *topology.Topology, deg parallel.Degrees, sel comm.S
 	if err != nil {
 		return nil, nil, err
 	}
-	e.cache.put(key, assign, world)
+	e.cache.put(key, worldVal{assign: assign, world: world})
 	return assign, world, nil
 }
 
-// CacheStats is a point-in-time snapshot of the communicator cache.
+// Plan returns the cached slice-plan value for an opaque comparable key,
+// if present. The plan cache is the engine-wide successor of the fleet
+// scheduler's per-Scheduler memo: identical carve fingerprints recur
+// across jobs, across schedulers, and across /v1/jobs fleets routed to
+// the same shard, so the memo lives next to the communicator cache where
+// all of them can share it. Values are opaque to the engine; callers key
+// with their own comparable types (a package-private key type cannot
+// collide with another package's) and must treat stored values as
+// immutable.
+func (e *Engine) Plan(key any) (any, bool) { return e.plans.get(key) }
+
+// StorePlan records a computed slice-plan value for the key. When two
+// concurrent misses race, the first stored value wins; deterministic
+// planning guarantees both are equivalent.
+func (e *Engine) StorePlan(key any, val any) { e.plans.put(key, val) }
+
+// CacheStats is a point-in-time snapshot of one engine cache.
 type CacheStats struct {
 	Size      int    `json:"size"`
 	Cap       int    `json:"cap"`
@@ -239,13 +291,9 @@ func (s CacheStats) Add(o CacheStats) CacheStats {
 	}
 }
 
-// CacheStats reports cache occupancy and hit/miss/eviction counters
-// (observability for /healthz and the cache tests).
-func (e *Engine) CacheStats() CacheStats {
-	e.cache.mu.Lock()
-	defer e.cache.mu.Unlock()
-	return CacheStats{
-		Size: len(e.cache.m), Cap: e.cache.cap,
-		Hits: e.cache.hits, Misses: e.cache.misses, Evictions: e.cache.evictions,
-	}
-}
+// CacheStats reports communicator-cache occupancy and hit/miss/eviction
+// counters (observability for /healthz and the cache tests).
+func (e *Engine) CacheStats() CacheStats { return e.cache.stats() }
+
+// PlanCacheStats reports slice-plan-cache occupancy and counters.
+func (e *Engine) PlanCacheStats() CacheStats { return e.plans.stats() }

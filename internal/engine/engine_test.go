@@ -186,3 +186,66 @@ func TestDefaultsAndKnobs(t *testing.T) {
 		t.Fatalf("Go covered %d/10 indices", len(seen))
 	}
 }
+
+// The plan cache must behave as a true LRU under overflow: an
+// overflowing working set evicts cold entries one at a time while hot
+// (recently touched) entries survive — the regression the fleet
+// scheduler's old per-Scheduler memo had, where entry 1025 flushed the
+// entire hot working set with a wholesale map reset.
+func TestPlanCacheOverflowEvictsColdNotHot(t *testing.T) {
+	type key struct{ n int }
+	const capacity = 8
+	e := New(Config{PlanCacheSize: capacity})
+
+	e.StorePlan(key{0}, "hot")
+	for n := 1; n < capacity; n++ {
+		e.StorePlan(key{n}, n)
+	}
+	// Overflow by capacity more entries, touching the hot key before each
+	// insertion: the hot entry must never be the victim.
+	for n := capacity; n < 2*capacity; n++ {
+		if _, ok := e.Plan(key{0}); !ok {
+			t.Fatalf("hot entry evicted before inserting key %d", n)
+		}
+		e.StorePlan(key{n}, n)
+	}
+	st := e.PlanCacheStats()
+	if st.Size != capacity {
+		t.Fatalf("size %d, want %d", st.Size, capacity)
+	}
+	if st.Evictions != capacity {
+		t.Fatalf("evictions %d, want %d (one per overflow, not wholesale flushes)", st.Evictions, capacity)
+	}
+	if v, ok := e.Plan(key{0}); !ok || v != "hot" {
+		t.Fatalf("hot entry lost after %d overflows (got %v, %v)", capacity, v, ok)
+	}
+	// The cold keys 1..capacity-1 must be the victims, in age order.
+	for n := 1; n < capacity; n++ {
+		if _, ok := e.Plan(key{n}); ok {
+			t.Fatalf("cold entry %d survived overflow", n)
+		}
+	}
+	// The newest entries are resident.
+	for n := capacity + 1; n < 2*capacity; n++ {
+		if _, ok := e.Plan(key{n}); !ok {
+			t.Fatalf("fresh entry %d missing", n)
+		}
+	}
+}
+
+// PlanCacheSize: 0 means the default bound; negative disables storage.
+func TestPlanCacheSizeKnob(t *testing.T) {
+	type key struct{ n int }
+	d := New(Config{})
+	if st := d.PlanCacheStats(); st.Cap != DefaultPlanCacheSize {
+		t.Fatalf("default plan cache cap %d, want %d", st.Cap, DefaultPlanCacheSize)
+	}
+	off := New(Config{PlanCacheSize: -1})
+	off.StorePlan(key{1}, 1)
+	if _, ok := off.Plan(key{1}); ok {
+		t.Fatal("disabled plan cache served an entry")
+	}
+	if st := off.PlanCacheStats(); st.Size != 0 || st.Cap != 0 {
+		t.Fatalf("disabled plan cache reports %+v", st)
+	}
+}

@@ -133,4 +133,3 @@ func TestWorkerPoolBounds(t *testing.T) {
 		}
 	}
 }
-

@@ -473,19 +473,26 @@ var FleetVariants = []*scenario.Scenario{
 // schedule itself (placements, makespan) is pinned by the fleet golden
 // test, so the grid reports the paper-comparable metrics only.
 func (s Suite) Fleet() ([]Row, error) {
-	var rows []Row
-	for _, sc := range FleetVariants {
+	// The variant replays are independent; fan them over the engine pool
+	// and collect rows in variant order, so the table is identical to a
+	// sequential run (same recipe as the experiment-grid cells).
+	scheds := make([]*fleet.Schedule, len(FleetVariants))
+	errs := make([]error, len(FleetVariants))
+	s.eng.Go(len(FleetVariants), func(i int) {
 		tr := &fleet.Trace{
 			Name:     "fleet",
 			Fleet:    Spec8Hybrid(),
-			Scenario: sc,
+			Scenario: FleetVariants[i],
 			Jobs:     FleetJobs,
 		}
-		sched, err := fleet.Replay(s.eng, tr)
-		if err != nil {
-			return nil, fmt.Errorf("fleet/%s: %w", sc.Name, err)
+		scheds[i], errs[i] = fleet.Replay(s.eng, tr)
+	})
+	var rows []Row
+	for i, sc := range FleetVariants {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("fleet/%s: %w", sc.Name, errs[i])
 		}
-		for _, p := range sched.Jobs {
+		for _, p := range scheds[i].Jobs {
 			rows = append(rows, Row{
 				Experiment: "fleet",
 				Label:      fmt.Sprintf("%s/%s", p.JobID, sc.Name),

@@ -23,7 +23,6 @@ import (
 	"io"
 	"math"
 	"os"
-	"sync"
 
 	"holmes/internal/config"
 	"holmes/internal/core"
@@ -164,21 +163,20 @@ type Schedule struct {
 }
 
 // Scheduler replays traces over one fleet topology on one engine. A
-// Scheduler carries no trace state between Replay calls — only a cache
-// of slice plans — and is safe for concurrent replays.
+// Scheduler carries no trace state between Replay calls and is safe for
+// concurrent replays; slice plans are memoized on the engine's shared
+// plan cache, so identical carve fingerprints hit across jobs, across
+// schedulers, and across every fleet bound to the same engine shard.
 type Scheduler struct {
 	topo *topology.Topology
 	eng  *engine.Engine
-
-	// plans memoizes the joint (t, p) search per (slice fingerprint,
-	// model, framework). Scoring is a pure function of those inputs, so
-	// caching cannot change a schedule — but it turns the API manager's
-	// recompute-on-mutation replays into map lookups: a fleet's distinct
-	// slices and models are a tiny working set.
-	mu    sync.Mutex
-	plans map[planKey]planEntry
 }
 
+// planKey identifies one joint (t, p) search: the carved slice's
+// structural fingerprint (degrade factors included — they change the
+// per-node Gbps the fingerprint covers), the model, and the framework.
+// The type is package-private, so fleet entries can never collide with
+// another package's keys in the engine's shared plan cache.
 type planKey struct {
 	fp   string
 	spec model.Spec
@@ -190,11 +188,6 @@ type planEntry struct {
 	plan    *core.Plan
 	err     error
 }
-
-// maxPlanCache bounds the slice-plan memo; overflowing working sets
-// (endless distinct degrade factors) reset it rather than grow without
-// limit — correctness never depends on a hit.
-const maxPlanCache = 1024
 
 // NewScheduler validates the fleet topology and binds it to an engine
 // (nil = the shared default engine).
@@ -208,31 +201,26 @@ func NewScheduler(eng *engine.Engine, topo *topology.Topology) (*Scheduler, erro
 	if eng == nil {
 		eng = engine.Default()
 	}
-	return &Scheduler{topo: topo, eng: eng, plans: make(map[planKey]planEntry)}, nil
+	return &Scheduler{topo: topo, eng: eng}, nil
 }
 
-// searchSlice runs (or replays from the memo) the joint search for a
-// model on a carved slice.
+// searchSlice runs (or replays from the engine's shared plan cache) the
+// joint search for a model on a carved slice. Scoring is a pure function
+// of (slice fingerprint, model, framework), so a cache hit — even one
+// written by a different scheduler — cannot change a schedule.
 func (s *Scheduler) searchSlice(sub *topology.Topology, spec model.Spec, fw trainer.Framework) (*core.Planner, *core.Plan, error) {
 	key := planKey{fp: sub.Fingerprint(), spec: spec, fw: fw}
-	s.mu.Lock()
-	if e, ok := s.plans[key]; ok {
-		s.mu.Unlock()
+	if v, ok := s.eng.Plan(key); ok {
+		e := v.(planEntry)
 		return e.planner, e.plan, e.err
 	}
-	s.mu.Unlock()
 	pl, err := core.NewPlannerOn(s.eng, sub, spec)
 	if err != nil {
 		return nil, nil, err
 	}
 	pl.Framework = fw
 	plan, err := pl.SearchPlan()
-	s.mu.Lock()
-	if len(s.plans) >= maxPlanCache {
-		s.plans = make(map[planKey]planEntry)
-	}
-	s.plans[key] = planEntry{planner: pl, plan: plan, err: err}
-	s.mu.Unlock()
+	s.eng.StorePlan(key, planEntry{planner: pl, plan: plan, err: err})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,296 @@
+package fleet
+
+import (
+	"math"
+
+	"holmes/internal/core"
+	"holmes/internal/scenario"
+)
+
+// Incremental rescheduling. The replay is causal: every decision taken
+// at an instant depends only on the state at that instant, which in turn
+// depends only on arrivals, events, and prior decisions at earlier or
+// equal instants. So a mutation whose earliest observable effect is at
+// virtual time t — a submit at t, a cancel of a job submitted at t, an
+// event scripted at t — cannot change anything the replay decided at
+// instants strictly before t. The recorder snapshots the full replay
+// state after every instant's placement pass; a mutated trace resumes
+// from the last snapshot taken strictly before its change point and
+// replays only the suffix. The from-scratch Replay stays available (and
+// is the differential oracle): by construction both paths run the same
+// state.run loop over the same state, so their schedules are
+// bit-identical — the differential and golden tests hold each release to
+// that.
+
+// maxCheckpoints bounds the recorder. Beyond the bound new instants are
+// simply not recorded: resume then starts earlier and replays more,
+// which is slower but never wrong. With MaxJobs = 64 the bound is never
+// approached in practice.
+const maxCheckpoints = 4096
+
+// qcheck snapshots one queue entry. Jobs are identified by ID, not trace
+// index: a mutation shifts the indices of jobs submitted at or after the
+// change point, while every job captured in a usable checkpoint was
+// submitted strictly before it (and so keeps both its identity and its
+// index-order relative to its peers).
+type qcheck struct {
+	id       string
+	ready    float64
+	remIters int
+	started  bool
+	lastErr  string
+}
+
+// runCheck snapshots one executing slice. The planner and plan pointers
+// are shared, not copied: plans are immutable after construction and the
+// replay only ever swaps them, never mutates through them.
+type runCheck struct {
+	q                qcheck
+	nodes            []int
+	planner          *core.Planner
+	plan             *core.Plan
+	iters            int
+	segStart, finish float64
+}
+
+// checkpoint is the full replay state at one instant, after that
+// instant's placement pass.
+type checkpoint struct {
+	clock   float64
+	free    []bool
+	failed  map[int]bool
+	factors map[int]nodeFactors
+	queue   []qcheck
+	runs    []runCheck
+	busy    float64
+	results []Placement // by job ID (JobID field), one row per trace job
+}
+
+// recorder accumulates checkpoints during a recorded replay.
+type recorder struct {
+	checks []*checkpoint
+}
+
+// record deep-snapshots the state. Called by state.run after each
+// instant's placement pass.
+func (rec *recorder) record(st *state) {
+	if len(rec.checks) >= maxCheckpoints {
+		return
+	}
+	cp := &checkpoint{
+		clock:   st.clock,
+		free:    append([]bool(nil), st.free...),
+		failed:  make(map[int]bool, len(st.failed)),
+		factors: make(map[int]nodeFactors, len(st.factors)),
+		queue:   make([]qcheck, len(st.queue)),
+		runs:    make([]runCheck, len(st.runs)),
+		busy:    st.busy,
+		results: make([]Placement, len(st.results)),
+	}
+	for k, v := range st.failed {
+		cp.failed[k] = v
+	}
+	for k, v := range st.factors {
+		cp.factors[k] = v
+	}
+	for i, q := range st.queue {
+		cp.queue[i] = snapQ(q)
+	}
+	for i, r := range st.runs {
+		cp.runs[i] = runCheck{
+			q:        snapQ(r.q),
+			nodes:    append([]int(nil), r.nodes...),
+			planner:  r.planner,
+			plan:     r.plan,
+			iters:    r.iters,
+			segStart: r.segStart,
+			finish:   r.finish,
+		}
+	}
+	for i, p := range st.results {
+		p.Nodes = append([]int(nil), p.Nodes...)
+		cp.results[i] = p
+	}
+	rec.checks = append(rec.checks, cp)
+}
+
+func snapQ(q *qentry) qcheck {
+	return qcheck{
+		id:       q.j.job.ID,
+		ready:    q.ready,
+		remIters: q.remIters,
+		started:  q.started,
+		lastErr:  q.lastErr,
+	}
+}
+
+// invalidateFrom drops every checkpoint taken at or after the change
+// point: state at those instants can depend on the mutation.
+func (rec *recorder) invalidateFrom(t float64) {
+	keep := rec.checks[:0]
+	for _, cp := range rec.checks {
+		if cp.clock < t {
+			keep = append(keep, cp)
+		}
+	}
+	for i := len(keep); i < len(rec.checks); i++ {
+		rec.checks[i] = nil
+	}
+	rec.checks = keep
+}
+
+// reset discards all checkpoints.
+func (rec *recorder) reset() { rec.invalidateFrom(math.Inf(-1)) }
+
+// popLast removes and returns the newest checkpoint (nil when empty).
+// Resume re-runs the checkpoint's own instant — a fixed-point no-op on
+// the restored state — and re-records it, so the caller pops it first to
+// keep the list free of duplicates.
+func (rec *recorder) popLast() *checkpoint {
+	if len(rec.checks) == 0 {
+		return nil
+	}
+	cp := rec.checks[len(rec.checks)-1]
+	rec.checks[len(rec.checks)-1] = nil
+	rec.checks = rec.checks[:len(rec.checks)-1]
+	return cp
+}
+
+// restore rebuilds a live replay state from the checkpoint against a
+// freshly resolved trace. It returns false when any snapshotted job is
+// missing from the trace — a sign the caller's invalidation missed a
+// mutation — so the caller falls back to a full recorded replay instead
+// of resuming from a stale base.
+func (cp *checkpoint) restore(s *Scheduler, jobs []*rjob) (*state, bool) {
+	byID := make(map[string]*rjob, len(jobs))
+	for _, j := range jobs {
+		byID[j.job.ID] = j
+	}
+	st := &state{
+		sch:     s,
+		clock:   cp.clock,
+		free:    append([]bool(nil), cp.free...),
+		failed:  make(map[int]bool, len(cp.failed)),
+		factors: make(map[int]nodeFactors, len(cp.factors)),
+		busy:    cp.busy,
+		results: make([]Placement, len(jobs)),
+	}
+	if len(st.free) != s.topo.NumNodes() {
+		return nil, false
+	}
+	for k, v := range cp.failed {
+		st.failed[k] = v
+	}
+	for k, v := range cp.factors {
+		st.factors[k] = v
+	}
+	for i, j := range jobs {
+		st.results[i] = Placement{JobID: j.job.ID}
+	}
+	// Carry forward every snapshotted placement row: finished jobs keep
+	// their final rows, started jobs their start/wait bookkeeping. Rows
+	// of jobs the mutation removed are dropped; jobs new to the trace
+	// keep their fresh zero rows.
+	for _, p := range cp.results {
+		j, ok := byID[p.JobID]
+		if !ok {
+			continue
+		}
+		p.Nodes = append([]int(nil), p.Nodes...)
+		st.results[j.idx] = p
+	}
+	st.queue = make([]*qentry, 0, len(cp.queue))
+	for _, qc := range cp.queue {
+		q, ok := restoreQ(qc, byID, st)
+		if !ok {
+			return nil, false
+		}
+		st.queue = append(st.queue, q)
+	}
+	st.runs = make([]*run, 0, len(cp.runs))
+	for _, rc := range cp.runs {
+		q, ok := restoreQ(rc.q, byID, st)
+		if !ok {
+			return nil, false
+		}
+		st.runs = append(st.runs, &run{
+			q:        q,
+			nodes:    append([]int(nil), rc.nodes...),
+			planner:  rc.planner,
+			plan:     rc.plan,
+			iters:    rc.iters,
+			segStart: rc.segStart,
+			finish:   rc.finish,
+		})
+	}
+	return st, true
+}
+
+func restoreQ(qc qcheck, byID map[string]*rjob, st *state) (*qentry, bool) {
+	j, ok := byID[qc.id]
+	if !ok {
+		return nil, false
+	}
+	return &qentry{
+		j:        j,
+		ready:    qc.ready,
+		remIters: qc.remIters,
+		started:  qc.started,
+		lastErr:  qc.lastErr,
+		res:      &st.results[j.idx],
+	}, true
+}
+
+// resume replays the trace, reusing the recorder's newest surviving
+// checkpoint as the starting state when one exists. The caller must have
+// invalidated the recorder from every mutation's change point since the
+// last recorded replay; under that contract resume is bit-identical to
+// Replay (see the package differential tests).
+func (s *Scheduler) resume(tr *Trace, rec *recorder) (*Schedule, error) {
+	jobs, err := s.resolveTrace(tr)
+	if err != nil {
+		rec.reset()
+		return nil, err
+	}
+	arr := arrivalOrder(jobs)
+	evs := tr.Scenario.Ordered()
+	if cp := rec.popLast(); cp != nil {
+		if st, ok := cp.restore(s, jobs); ok {
+			ai, ei := 0, 0
+			for ai < len(arr) && arr[ai].job.Submit <= st.clock {
+				ai++
+			}
+			for ei < len(evs) && evs[ei].At <= st.clock {
+				ei++
+			}
+			ei = st.run(arr, evs, ai, ei, rec)
+			return buildSchedule(tr, jobs, st, ei), nil
+		}
+		rec.reset()
+	}
+	st := &state{
+		sch:     s,
+		free:    make([]bool, s.topo.NumNodes()),
+		failed:  make(map[int]bool),
+		factors: make(map[int]nodeFactors),
+		results: make([]Placement, len(jobs)),
+	}
+	for i := range st.free {
+		st.free[i] = true
+	}
+	for i, j := range jobs {
+		st.results[i] = Placement{JobID: j.job.ID}
+	}
+	ei := st.run(arr, evs, 0, 0, rec)
+	return buildSchedule(tr, jobs, st, ei), nil
+}
+
+// changePoint reports the earliest instant an event mutation can alter
+// the replay.
+func eventChange(evs []scenario.Event) float64 {
+	t := math.Inf(1)
+	for _, ev := range evs {
+		t = min(t, ev.At)
+	}
+	return t
+}

@@ -2,10 +2,12 @@ package fleet
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
 	"holmes/internal/engine"
+	"holmes/internal/scenario"
 	"holmes/internal/topology"
 )
 
@@ -21,14 +23,29 @@ const MaxJobs = 64
 // independent of the interleaving that built the set. Submitting the
 // same jobs in any order, on any number of shards, yields bit-identical
 // schedules.
+//
+// Schedules are computed incrementally: every recomputation records a
+// checkpoint of the replay state at each virtual instant, and a mutation
+// invalidates only the checkpoints at or after its change point (the
+// submit time of an added or cancelled job, the timestamp of a scenario
+// event). The next Schedule call resumes from the newest surviving
+// checkpoint instead of replaying from virtual time zero.
+// SetFullRecompute(true) disables the checkpoint path entirely — the
+// from-scratch replay is the differential oracle the incremental path is
+// tested against, and by construction both produce bit-identical
+// schedules.
 type Manager struct {
 	sch *Scheduler
 
 	mu      sync.Mutex
 	jobs    map[string]Job
+	scn     *scenario.Scenario
 	version uint64 // bumped on every mutation
 	cached  *Schedule
 	cachedV uint64
+
+	rec           recorder
+	fullRecompute bool
 }
 
 // NewManager builds a manager over one shared fleet topology on the
@@ -43,6 +60,28 @@ func NewManager(eng *engine.Engine, topo *topology.Topology) (*Manager, error) {
 
 // Topology exposes the fleet topology.
 func (m *Manager) Topology() *topology.Topology { return m.sch.Topology() }
+
+// SetFullRecompute toggles the from-scratch oracle: when on, every
+// Schedule call replays the whole trace from virtual time zero and no
+// checkpoints are kept. The differential tests run one manager in each
+// mode and assert bit-identical schedules.
+func (m *Manager) SetFullRecompute(on bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.fullRecompute == on {
+		return
+	}
+	m.fullRecompute = on
+	m.rec.reset()
+	m.cached = nil
+}
+
+// invalidateFrom records that a mutation's earliest observable effect is
+// at virtual instant t. Callers hold m.mu.
+func (m *Manager) invalidateFrom(t float64) {
+	m.version++
+	m.rec.invalidateFrom(t)
+}
 
 // Submit validates and admits one job. Duplicate IDs are rejected — the
 // ID is the client's handle for polling and cancellation.
@@ -59,7 +98,7 @@ func (m *Manager) Submit(j Job) error {
 		return fmt.Errorf("fleet: fleet already holds %d jobs (the per-fleet limit)", MaxJobs)
 	}
 	m.jobs[j.ID] = j
-	m.version++
+	m.invalidateFrom(j.Submit)
 	return nil
 }
 
@@ -67,12 +106,60 @@ func (m *Manager) Submit(j Job) error {
 func (m *Manager) Cancel(id string) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if _, ok := m.jobs[id]; !ok {
+	j, ok := m.jobs[id]
+	if !ok {
 		return false
 	}
 	delete(m.jobs, id)
-	m.version++
+	m.invalidateFrom(j.Submit)
 	return true
+}
+
+// SetScenario replaces the fleet's scripted event timeline (nil clears
+// it). The change point is the earliest event in either the old or the
+// new timeline — everything before it replays identically.
+func (m *Manager) SetScenario(sc *scenario.Scenario) error {
+	if err := validateScenario(m.sch.topo, sc); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := math.Inf(1)
+	if !m.scn.Empty() {
+		t = min(t, eventChange(m.scn.Events))
+	}
+	if !sc.Empty() {
+		t = min(t, eventChange(sc.Events))
+	}
+	m.scn = sc
+	m.invalidateFrom(t)
+	return nil
+}
+
+// ApplyEvent appends one event to the fleet's timeline. Only the replay
+// suffix from the event's instant onward recomputes.
+func (m *Manager) ApplyEvent(ev scenario.Event) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	next := &scenario.Scenario{Name: "fleet"}
+	if !m.scn.Empty() {
+		next.Name = m.scn.Name
+		next.Events = append(next.Events, m.scn.Events...)
+	}
+	next.Events = append(next.Events, ev)
+	if err := validateScenario(m.sch.topo, next); err != nil {
+		return err
+	}
+	m.scn = next
+	m.invalidateFrom(ev.At)
+	return nil
+}
+
+// Scenario returns the live timeline (shared; treat as read-only).
+func (m *Manager) Scenario() *scenario.Scenario {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.scn
 }
 
 // Len reports the live job count.
@@ -95,7 +182,7 @@ func (m *Manager) trace() *Trace {
 		}
 		return jobs[a].ID < jobs[b].ID
 	})
-	return &Trace{Jobs: jobs}
+	return &Trace{Jobs: jobs, Scenario: m.scn}
 }
 
 // Schedule replays the live job set, memoized until the next mutation.
@@ -108,11 +195,19 @@ func (m *Manager) Schedule() (*Schedule, error) {
 		return m.cached, nil
 	}
 	if len(m.jobs) == 0 {
+		m.rec.reset()
 		sched := &Schedule{Nodes: m.sch.topo.NumNodes(), GPUs: m.sch.topo.NumDevices()}
 		m.cached, m.cachedV = sched, m.version
 		return sched, nil
 	}
-	sched, err := m.sch.Replay(m.trace())
+	tr := m.trace()
+	var sched *Schedule
+	var err error
+	if m.fullRecompute {
+		sched, err = m.sch.Replay(tr)
+	} else {
+		sched, err = m.sch.resume(tr, &m.rec)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -69,10 +69,9 @@ type state struct {
 	results []Placement
 }
 
-// Replay runs the trace's jobs over the scheduler's fleet topology
-// (tr.Fleet is ignored here; the Replay function resolves it). The
-// returned schedule is deterministic: same trace, same schedule.
-func (s *Scheduler) Replay(tr *Trace) (*Schedule, error) {
+// resolveTrace validates the trace against the scheduler's topology and
+// resolves every job, indexed by trace position.
+func (s *Scheduler) resolveTrace(tr *Trace) ([]*rjob, error) {
 	if len(tr.Jobs) == 0 {
 		return nil, fmt.Errorf("fleet: trace has no jobs")
 	}
@@ -96,7 +95,31 @@ func (s *Scheduler) Replay(tr *Trace) (*Schedule, error) {
 	if err := validateScenario(s.topo, tr.Scenario); err != nil {
 		return nil, err
 	}
+	return jobs, nil
+}
 
+// arrivalOrder sorts the resolved jobs into (submit, trace index) order.
+func arrivalOrder(jobs []*rjob) []*rjob {
+	arr := append([]*rjob(nil), jobs...)
+	sort.SliceStable(arr, func(a, b int) bool { return arr[a].job.Submit < arr[b].job.Submit })
+	return arr
+}
+
+// Replay runs the trace's jobs over the scheduler's fleet topology
+// (tr.Fleet is ignored here; the Replay function resolves it). The
+// returned schedule is deterministic: same trace, same schedule.
+func (s *Scheduler) Replay(tr *Trace) (*Schedule, error) {
+	return s.replay(tr, nil)
+}
+
+// replay is Replay with an optional checkpoint recorder (the manager's
+// incremental path snapshots the state at every instant so a later
+// mutation can resume mid-trace instead of recomputing from scratch).
+func (s *Scheduler) replay(tr *Trace, rec *recorder) (*Schedule, error) {
+	jobs, err := s.resolveTrace(tr)
+	if err != nil {
+		return nil, err
+	}
 	st := &state{
 		sch:     s,
 		free:    make([]bool, s.topo.NumNodes()),
@@ -110,13 +133,18 @@ func (s *Scheduler) Replay(tr *Trace) (*Schedule, error) {
 	for i, j := range jobs {
 		st.results[i] = Placement{JobID: j.job.ID}
 	}
-
-	// Arrivals in (submit, trace index) order.
-	arr := append([]*rjob(nil), jobs...)
-	sort.SliceStable(arr, func(a, b int) bool { return arr[a].job.Submit < arr[b].job.Submit })
+	arr := arrivalOrder(jobs)
 	evs := tr.Scenario.Ordered()
-	ai, ei := 0, 0
+	ei := st.run(arr, evs, 0, 0, rec)
+	return buildSchedule(tr, jobs, st, ei), nil
+}
 
+// run drives the replay loop from the state's current clock, starting at
+// arrival index ai and event index ei, and returns the number of events
+// applied. Both Replay (from scratch) and the incremental resume path
+// use this one loop, so their decision sequences are identical by
+// construction.
+func (st *state) run(arr []*rjob, evs []scenario.Event, ai, ei int, rec *recorder) int {
 	for {
 		for ai < len(arr) && arr[ai].job.Submit <= st.clock {
 			st.enqueue(arr[ai])
@@ -127,6 +155,9 @@ func (s *Scheduler) Replay(tr *Trace) (*Schedule, error) {
 			ei++
 		}
 		st.placePass()
+		if rec != nil {
+			rec.record(st)
+		}
 
 		next := math.Inf(1)
 		if ai < len(arr) {
@@ -158,13 +189,17 @@ func (s *Scheduler) Replay(tr *Trace) (*Schedule, error) {
 		st.clock = next
 		st.completeFinished()
 	}
+	return ei
+}
 
+// buildSchedule folds the final replay state into the Schedule document.
+func buildSchedule(tr *Trace, jobs []*rjob, st *state, appliedEvents int) *Schedule {
 	sched := &Schedule{
 		Trace:          tr.Name,
-		Nodes:          s.topo.NumNodes(),
-		GPUs:           s.topo.NumDevices(),
+		Nodes:          st.sch.topo.NumNodes(),
+		GPUs:           st.sch.topo.NumDevices(),
 		Jobs:           st.results,
-		ScenarioEvents: ei,
+		ScenarioEvents: appliedEvents,
 	}
 	for i := range sched.Jobs {
 		p := &sched.Jobs[i]
@@ -179,7 +214,7 @@ func (s *Scheduler) Replay(tr *Trace) (*Schedule, error) {
 	if sched.Makespan > 0 {
 		sched.Utilization = st.busy / (float64(sched.GPUs) * sched.Makespan)
 	}
-	return sched, nil
+	return sched
 }
 
 func (st *state) enqueue(j *rjob) {
@@ -258,13 +293,12 @@ func (st *state) candidates(need int) [][]int {
 	return cands
 }
 
-// score carves the slice — folding each node's cumulative degrade
-// factors into the carved overrides — and runs the joint (t, p) search
-// on it. nodes must be ascending.
-func (st *state) score(j *rjob, nodes []int) (choice, error) {
+// carve cuts the slice's sub-topology, folding each node's cumulative
+// degrade factors into the carved overrides. nodes must be ascending.
+func (st *state) carve(nodes []int) (*topology.Topology, error) {
 	spec, err := st.sch.topo.CarveSpec(nodes)
 	if err != nil {
-		return choice{}, err
+		return nil, err
 	}
 	pos := 0
 	for ci := range spec.Clusters {
@@ -279,7 +313,13 @@ func (st *state) score(j *rjob, nodes []int) (choice, error) {
 			pos++
 		}
 	}
-	sub, err := topology.Build(spec)
+	return topology.Build(spec)
+}
+
+// score carves the slice and runs (or replays from the plan cache) the
+// joint (t, p) search on it.
+func (st *state) score(j *rjob, nodes []int) (choice, error) {
+	sub, err := st.carve(nodes)
 	if err != nil {
 		return choice{}, err
 	}
@@ -290,36 +330,90 @@ func (st *state) score(j *rjob, nodes []int) (choice, error) {
 	return choice{nodes: nodes, planner: pl, plan: plan}, nil
 }
 
-// pick scores every candidate slice concurrently on the engine pool and
-// selects the highest simulated throughput, ties broken by candidate
-// input order — identical to a sequential scan.
-func (st *state) pick(q *qentry) (choice, bool) {
-	cands := st.candidates(q.j.nodes)
+// scoreJob scores every candidate slice for a job against the current
+// free set and selects the highest simulated throughput, ties broken by
+// candidate input order — identical to a sequential scan. Candidates are
+// carved first and deduplicated by structural fingerprint, so the engine
+// searches each distinct slice exactly once and fingerprint-identical
+// slices never race each other for pool workers; the searches then fan
+// out over the engine's bounded worker pool.
+//
+// scoreJob never mutates the replay state. It reports the two error
+// strings the caller may fold into the job's lastErr: needErr when the
+// free set cannot cover the demand at all (the original code overwrote
+// lastErr unconditionally), and scoreErr — the first carve/search error
+// in candidate order — which only lands when lastErr is still empty.
+func (st *state) scoreJob(j *rjob) (ch choice, ok bool, needErr, scoreErr string) {
+	cands := st.candidates(j.nodes)
 	if len(cands) == 0 {
-		q.lastErr = fmt.Sprintf("needs %d free node(s)", q.j.nodes)
-		return choice{}, false
+		return choice{}, false, fmt.Sprintf("needs %d free node(s)", j.nodes), ""
 	}
-	chs := make([]choice, len(cands))
-	errs := make([]error, len(cands))
-	st.sch.eng.Go(len(cands), func(i int) {
-		chs[i], errs[i] = st.score(q.j, cands[i])
+	subs := make([]*topology.Topology, 0, len(cands))
+	uniqOf := make([]int, len(cands)) // candidate -> index into subs, -1 on carve error
+	carveErrs := make([]error, len(cands))
+	seen := make(map[string]int, len(cands))
+	for i, nodes := range cands {
+		sub, err := st.carve(nodes)
+		if err != nil {
+			uniqOf[i] = -1
+			carveErrs[i] = err
+			continue
+		}
+		fp := sub.Fingerprint()
+		u, dup := seen[fp]
+		if !dup {
+			u = len(subs)
+			seen[fp] = u
+			subs = append(subs, sub)
+		}
+		uniqOf[i] = u
+	}
+	planners := make([]*core.Planner, len(subs))
+	plans := make([]*core.Plan, len(subs))
+	errs := make([]error, len(subs))
+	st.sch.eng.Go(len(subs), func(u int) {
+		planners[u], plans[u], errs[u] = st.sch.searchSlice(subs[u], j.spec, j.fw)
 	})
 	best := -1
 	for i := range cands {
-		if errs[i] != nil {
-			if q.lastErr == "" {
-				q.lastErr = errs[i].Error()
+		err := carveErrs[i]
+		var plan *core.Plan
+		if uniqOf[i] >= 0 {
+			err = errs[uniqOf[i]]
+			plan = plans[uniqOf[i]]
+		}
+		if err != nil {
+			if scoreErr == "" {
+				scoreErr = err.Error()
 			}
 			continue
 		}
-		if best < 0 || chs[i].plan.Report.Throughput > chs[best].plan.Report.Throughput {
+		if best < 0 || plan.Report.Throughput > plans[uniqOf[best]].Report.Throughput {
 			best = i
 		}
 	}
 	if best < 0 {
-		return choice{}, false
+		return choice{}, false, "", scoreErr
 	}
-	return chs[best], true
+	u := uniqOf[best]
+	return choice{nodes: cands[best], planner: planners[u], plan: plans[u]}, true, "", scoreErr
+}
+
+// pick scores a queued job and folds the scoring errors into its
+// lastErr, exactly like the historical sequential scan did.
+func (st *state) pick(q *qentry) (choice, bool) {
+	ch, ok, needErr, scoreErr := st.scoreJob(q.j)
+	applyPickErrs(q, needErr, scoreErr)
+	return ch, ok
+}
+
+func applyPickErrs(q *qentry, needErr, scoreErr string) {
+	if needErr != "" {
+		q.lastErr = needErr
+	}
+	if scoreErr != "" && q.lastErr == "" {
+		q.lastErr = scoreErr
+	}
 }
 
 // start commits a placement choice.
@@ -363,6 +457,12 @@ func (st *state) recordPlan(res *Placement, plan *core.Plan) {
 // head whenever it fits; otherwise reserve its earliest possible start
 // and let later jobs that fit the idle nodes jump ahead only if they
 // finish by the reservation, so backfilling never delays the head.
+//
+// The backfill scan scores every eligible queued job concurrently
+// against the frozen free set, then walks the results in queue order and
+// starts the first job that fits the reservation — the same job the
+// historical sequential scan started, with lastErr mutations applied
+// only up to that job, so concurrency never leaks into the schedule.
 func (st *state) placePass() {
 	for len(st.queue) > 0 {
 		head := st.queue[0]
@@ -372,18 +472,34 @@ func (st *state) placePass() {
 			continue
 		}
 		tHead := st.reserveTime(head.j.nodes)
-		progressed := false
+		freeCount := len(st.freeNodes())
+		var eligible []int
 		for i := 1; i < len(st.queue); i++ {
+			if st.queue[i].j.nodes <= freeCount {
+				eligible = append(eligible, i)
+			}
+		}
+		type backfillScore struct {
+			ch                choice
+			ok                bool
+			needErr, scoreErr string
+		}
+		scores := make([]backfillScore, len(eligible))
+		st.sch.eng.Go(len(eligible), func(k int) {
+			var s backfillScore
+			s.ch, s.ok, s.needErr, s.scoreErr = st.scoreJob(st.queue[eligible[k]].j)
+			scores[k] = s
+		})
+		progressed := false
+		for k, i := range eligible {
 			q := st.queue[i]
-			if q.j.nodes > len(st.freeNodes()) {
+			s := scores[k]
+			applyPickErrs(q, s.needErr, s.scoreErr)
+			if !s.ok {
 				continue
 			}
-			ch, ok := st.pick(q)
-			if !ok {
-				continue
-			}
-			if st.clock+float64(q.remIters)*ch.plan.Report.IterSeconds <= tHead {
-				st.start(q, ch, true)
+			if st.clock+float64(q.remIters)*s.ch.plan.Report.IterSeconds <= tHead {
+				st.start(q, s.ch, true)
 				st.queue = append(st.queue[:i], st.queue[i+1:]...)
 				progressed = true
 				break
@@ -515,7 +631,9 @@ func (st *state) applyEvent(ev scenario.Event) {
 
 // evictOn requeues every job whose slice contains the failed node,
 // measuring what replanning on the residual slice would recover via the
-// core replanner (reuse of the single-job fault path).
+// core replanner (reuse of the single-job fault path). Bookkeeping runs
+// serially in trace order; the independent per-run recovery replans fan
+// out over the engine pool.
 func (st *state) evictOn(node int) {
 	var hit []*run
 	keep := st.runs[:0]
@@ -535,13 +653,17 @@ func (st *state) evictOn(node int) {
 	}
 	st.runs = keep
 	sort.SliceStable(hit, func(a, b int) bool { return hit[a].q.j.idx < hit[b].q.j.idx })
-	for _, r := range hit {
+	recoveries := make([]float64, len(hit))
+	st.sch.eng.Go(len(hit), func(i int) {
+		recoveries[i] = st.recovery(hit[i], node)
+	})
+	for i, r := range hit {
 		rem := st.segmentProgress(r)
 		q := r.q
 		q.remIters = rem
 		q.ready = st.clock
 		q.res.Evictions++
-		q.res.Recovery = st.recovery(r, node)
+		q.res.Recovery = recoveries[i]
 		for _, n := range r.nodes {
 			if !st.failed[n] {
 				st.free[n] = true
@@ -587,7 +709,10 @@ func (st *state) recovery(r *run, failedNode int) float64 {
 // replanOn re-plans, in place and on their own nodes, the jobs whose
 // slice contains the affected node: the slice is re-carved under the
 // current degrade factors and the joint search re-run, so the remaining
-// iterations proceed at the slice's new speed.
+// iterations proceed at the slice's new speed. Progress bookkeeping runs
+// serially in trace order (busy-seconds accumulate in a fixed order);
+// the independent re-scores fan out over the engine pool and apply in
+// trace order.
 func (st *state) replanOn(node int) {
 	var hit []*run
 	for _, r := range st.runs {
@@ -599,10 +724,18 @@ func (st *state) replanOn(node int) {
 		}
 	}
 	sort.SliceStable(hit, func(a, b int) bool { return hit[a].q.j.idx < hit[b].q.j.idx })
-	for _, r := range hit {
-		rem := st.segmentProgress(r)
-		ch, err := st.score(r.q.j, r.nodes)
-		if err != nil {
+	rems := make([]int, len(hit))
+	for i, r := range hit {
+		rems[i] = st.segmentProgress(r)
+	}
+	chs := make([]choice, len(hit))
+	errs := make([]error, len(hit))
+	st.sch.eng.Go(len(hit), func(i int) {
+		chs[i], errs[i] = st.score(hit[i].q.j, hit[i].nodes)
+	})
+	for i, r := range hit {
+		rem := rems[i]
+		if errs[i] != nil {
 			// The degraded slice admits no plan; let the old projection
 			// stand rather than lose the job.
 			r.segStart = st.clock
@@ -611,6 +744,7 @@ func (st *state) replanOn(node int) {
 			r.q.res.Finish = r.finish
 			continue
 		}
+		ch := chs[i]
 		r.planner, r.plan = ch.planner, ch.plan
 		r.segStart = st.clock
 		r.iters = rem

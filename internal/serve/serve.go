@@ -153,6 +153,16 @@ func (p *Pool) CacheStats() engine.CacheStats {
 	return agg
 }
 
+// PlanCacheStats aggregates the shared slice-plan-cache counters across
+// shards (the fleet scheduler's memo — see engine.Engine.Plan).
+func (p *Pool) PlanCacheStats() engine.CacheStats {
+	var agg engine.CacheStats
+	for _, s := range p.shards {
+		agg = agg.Add(s.PlanCacheStats())
+	}
+	return agg
+}
+
 // Admit asks the gate for an execution slot. ok=false means the caller
 // must shed the request (429); otherwise release must be called exactly
 // once when the request finishes.
