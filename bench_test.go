@@ -359,3 +359,126 @@ func BenchmarkPlannerSearch(b *testing.B) {
 		}
 	}
 }
+
+// searchColdCorpus is the Table-3 grid as joint-search inputs: every
+// environment × node count × parameter group the paper evaluates.
+func searchColdCorpus(b *testing.B) []*Topology {
+	b.Helper()
+	var topos []*Topology
+	for _, env := range []func(int) *Topology{IB, RoCECluster, EthernetCluster, Hybrid} {
+		for _, nodes := range []int{4, 6, 8} {
+			topos = append(topos, env(nodes))
+		}
+	}
+	return topos
+}
+
+// runSearchCorpus runs the full joint (t, p) search for all four
+// parameter groups on every corpus topology against one engine.
+func runSearchCorpus(b *testing.B, eng *Engine, topos []*Topology) {
+	b.Helper()
+	for _, topo := range topos {
+		for group := 1; group <= 4; group++ {
+			if _, err := SearchPlanOn(eng, topo, ParameterGroup(group)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSearchCold measures the cold joint-search path over the whole
+// Table-3 corpus (48 searches per iteration) on a fresh engine each
+// iteration — no winner memo, no warm communicator cache across
+// iterations. This is the bound-pruned, branch-and-bound search the
+// tentpole introduced, and the ns/op the CI perf gate holds against
+// BENCH_coldpath.json; BenchmarkSearchColdExhaustive below is the
+// unpruned reference the ≥3× claim is measured against.
+func BenchmarkSearchCold(b *testing.B) {
+	topos := searchColdCorpus(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var st SearchStats
+	for i := 0; i < b.N; i++ {
+		eng := NewEngine(EngineConfig{})
+		runSearchCorpus(b, eng, topos)
+		st = eng.SearchStats()
+	}
+	b.ReportMetric(float64(st.Simulated), "simulated/op")
+	b.ReportMetric(float64(st.Pruned), "pruned/op")
+	b.ReportMetric(float64(st.Aborted), "aborted/op")
+}
+
+// BenchmarkSearchColdExhaustive is the same corpus through the
+// exhaustive oracle (engine-level FullRecompute): every candidate cell
+// event-simulated to completion. Not CI-gated — it exists as the
+// denominator of the cold-path speedup recorded in BENCH_coldpath.json.
+func BenchmarkSearchColdExhaustive(b *testing.B) {
+	topos := searchColdCorpus(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var st SearchStats
+	for i := 0; i < b.N; i++ {
+		eng := NewEngine(EngineConfig{FullRecompute: true})
+		runSearchCorpus(b, eng, topos)
+		st = eng.SearchStats()
+	}
+	b.ReportMetric(float64(st.Simulated), "simulated/op")
+}
+
+// BenchmarkWarmBoot measures a snapshot warm start end to end: a fresh
+// pool + server loads a snapshot recorded by a server that answered the
+// Table-3 corpus, then answers the same corpus. Every request must come
+// out of the restored response cache (the ≥90% hit floor from ROADMAP
+// item 3); the measured ns/op is the whole boot-and-serve cycle, which
+// is what a rolling restart pays before it is hot.
+func BenchmarkWarmBoot(b *testing.B) {
+	corpus := loadgen.PlanBodies()
+	corpus = append(corpus, loadgen.SearchBodies()...)
+	corpus = append(corpus, loadgen.SimulateBodies()...)
+	drive := func(srv *api.Server) {
+		b.Helper()
+		handler := srv.Handler()
+		for _, body := range corpus {
+			path := "/v1/plan"
+			if bytes.Contains([]byte(body), []byte("scenario")) {
+				path = "/v1/simulate"
+			} else if !bytes.Contains([]byte(body), []byte("pipeline_size")) {
+				path = "/v1/search"
+			}
+			req := httptest.NewRequest("POST", path, bytes.NewReader([]byte(body)))
+			rec := httptest.NewRecorder()
+			handler.ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				b.Fatalf("%s -> %d: %s", path, rec.Code, rec.Body.String())
+			}
+		}
+	}
+
+	seedPool := serve.New(serve.Config{Shards: 4})
+	seedSrv := api.NewServerPool(seedPool)
+	drive(seedSrv)
+	snap, err := seedSrv.SaveSnapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var hitRatio float64
+	for i := 0; i < b.N; i++ {
+		pool := serve.New(serve.Config{Shards: 4})
+		srv := api.NewServerPool(pool)
+		if _, err := srv.LoadSnapshot(snap); err != nil {
+			b.Fatal(err)
+		}
+		drive(srv)
+		st := pool.ResponseCacheStats()
+		hitRatio = float64(st.Hits) / float64(st.Hits+st.Misses)
+		if hitRatio < 0.9 {
+			b.Fatalf("warm boot answered only %.0f%% of the corpus from cache (%d hits, %d misses)",
+				100*hitRatio, st.Hits, st.Misses)
+		}
+	}
+	b.ReportMetric(float64(len(snap)), "snapshot-bytes")
+	b.ReportMetric(100*hitRatio, "cache-hit-%")
+}

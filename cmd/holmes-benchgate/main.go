@@ -151,7 +151,7 @@ func main() {
 	g := gates{}
 	maxRegress := flag.Float64("max-regress", 0.25, "allowed fractional ns/op regression vs the ledger")
 	maxAllocRegress := flag.Float64("max-alloc-regress", 0.25, "allowed fractional allocs/op regression vs the ledger (for ledger entries that record allocs_per_op)")
-	flag.Var(g, "gate", "BenchmarkName=ledger.json (repeatable; default gates Table3, PlanBatch, and the three fleet benchmarks)")
+	flag.Var(g, "gate", "BenchmarkName=ledger.json (repeatable; default gates Table3, PlanBatch, the three fleet benchmarks, SearchCold, and WarmBoot)")
 	input := flag.String("input", "-", "bench output file (- = stdin)")
 	flag.Parse()
 	if len(g) == 0 {
@@ -161,6 +161,8 @@ func main() {
 			"BenchmarkFleetSchedule":     "BENCH_fleet.json",
 			"BenchmarkFleetScheduleWarm": "BENCH_fleet.json",
 			"BenchmarkFleetMutate":       "BENCH_fleet.json",
+			"BenchmarkSearchCold":        "BENCH_coldpath.json",
+			"BenchmarkWarmBoot":          "BENCH_coldpath.json",
 		}
 	}
 

@@ -13,12 +13,19 @@
 //	holmes-loadgen -url http://127.0.0.1:8080 -workers 32 -duration 10s
 //	holmes-loadgen -url http://127.0.0.1:8080 -mix plan=1 -duration 5s   # plan-only
 //	holmes-loadgen -url http://127.0.0.1:8080 -mix plan=8,search=1,simulate=2,batch=1
+//	holmes-loadgen -url http://127.0.0.1:8080 -warm-boot   # one pass over the corpus
 //
 // Output is one JSON document: request counts (ok / rejected / errors),
-// requests/s, plan answers/s (batch items included), and the latency
-// histogram summary (p50/p95/p99/max in milliseconds). Exit status is 1
-// when any non-backpressure error occurred — 429s are shed load, not
-// failures.
+// requests/s, plan answers/s (batch items included), the latency
+// histogram summary (p50/p95/p99/max in milliseconds), and the server's
+// cache effectiveness (plan/response hit ratios scraped from /v1/stats
+// at the end of the run). Exit status is 1 when any non-backpressure
+// error occurred — 429s are shed load, not failures.
+//
+// -warm-boot replaces the timed random mix with one deterministic pass
+// over the whole corpus; against a holmes-serve started from a
+// -cache-snapshot file it shows how much of the corpus is answered from
+// cache at boot.
 package main
 
 import (
@@ -76,6 +83,7 @@ func main() {
 		mixSpec   = flag.String("mix", "", "request mix weights, e.g. plan=8,search=1,simulate=2,batch=1 (empty = that default)")
 		batchSize = flag.Int("batch-size", 16, "items per /v1/plan/batch request")
 		seed      = flag.Int64("seed", 1, "per-worker RNG seed (reproducible request sequences)")
+		warmBoot  = flag.Bool("warm-boot", false, "one deterministic pass over the full corpus instead of a timed mix (measures cache effectiveness against a snapshot-warmed server; -duration and -mix are ignored)")
 		out       = flag.String("out", "", "also write the JSON report to this file")
 	)
 	flag.Parse()
@@ -92,6 +100,7 @@ func main() {
 		Mix:       mix,
 		BatchSize: *batchSize,
 		Seed:      *seed,
+		WarmBoot:  *warmBoot,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "holmes-loadgen:", err)

@@ -5,10 +5,20 @@
 // shard-local), and identical in-flight plan/search requests are
 // coalesced into one computation.
 //
+// The daemon shuts down gracefully: SIGINT/SIGTERM switch it to drain
+// mode (new admission-gated work answers 429, observability routes keep
+// answering), in-flight requests finish within -drain-timeout, and —
+// when -cache-snapshot is set — the deterministic caches (completed
+// responses, search-winner memo) are written to disk so the next boot
+// answers the same corpus hot. The same file is loaded at startup and
+// rewritten every -snapshot-interval.
+//
 // Usage:
 //
 //	holmes-serve -addr :8080
 //	holmes-serve -addr :8080 -shards 4 -workers 4 -cache 1024 -max-inflight 64 -max-queue 512
+//	holmes-serve -addr :8080 -cache-snapshot /var/lib/holmes/cache.json -snapshot-interval 5m
+//	holmes-serve -addr :8080 -pprof   # mounts /debug/pprof/
 //
 //	curl -s localhost:8080/healthz
 //	curl -s localhost:8080/v1/stats
@@ -26,15 +36,59 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"holmes/internal/api"
 	"holmes/internal/serve"
 )
+
+// loadSnapshot warm-starts the caches from file; a missing file is a
+// cold boot, not an error. A bad file is logged and ignored — a stale or
+// corrupt snapshot must never keep the server from starting.
+func loadSnapshot(srv *api.Server, path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			log.Printf("holmes-serve: cache snapshot %s unreadable: %v (cold boot)", path, err)
+		}
+		return
+	}
+	counts, err := srv.LoadSnapshot(data)
+	if err != nil {
+		log.Printf("holmes-serve: cache snapshot %s rejected: %v (cold boot)", path, err)
+		return
+	}
+	log.Printf("holmes-serve: warm boot from %s (%d responses, %d plan entries)",
+		path, counts.Responses, counts.Plans)
+}
+
+// writeSnapshot persists the caches atomically (write temp, rename).
+func writeSnapshot(srv *api.Server, path string) {
+	doc, err := srv.SaveSnapshot()
+	if err != nil {
+		log.Printf("holmes-serve: cache snapshot: %v", err)
+		return
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, doc, 0o644); err != nil {
+		log.Printf("holmes-serve: cache snapshot %s: %v", tmp, err)
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		log.Printf("holmes-serve: cache snapshot %s: %v", path, err)
+		return
+	}
+	log.Printf("holmes-serve: cache snapshot written to %s (%d bytes)", path, len(doc))
+}
 
 func main() {
 	var (
@@ -46,7 +100,11 @@ func main() {
 		queue    = flag.Int("max-queue", 0, "max requests waiting for admission (0 = 8x max-inflight, negative = none); beyond this the server answers 429")
 		retry    = flag.Duration("retry-after", time.Second, "Retry-After hint attached to 429 responses")
 		resp     = flag.Int("response-cache", 0, "completed-answer LRU entries (0 = default 4096, negative = disabled)")
-		oracle   = flag.Bool("full-recompute", false, "simulate on the netsim full-recompute oracle (reference arm)")
+		oracle   = flag.Bool("full-recompute", false, "simulate on the netsim full-recompute oracle (reference arm; also disables search pruning)")
+		snapshot = flag.String("cache-snapshot", "", "cache snapshot file: loaded at boot, written on graceful shutdown (and every -snapshot-interval)")
+		interval = flag.Duration("snapshot-interval", 0, "also rewrite -cache-snapshot periodically (0 = only on shutdown)")
+		drain    = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (admission-exempt)")
 	)
 	flag.Parse()
 
@@ -60,12 +118,58 @@ func main() {
 		RetryAfter:       *retry,
 		ResponseCache:    *resp,
 	})
+	apiSrv := api.NewServerPool(pool)
+	apiSrv.EnablePprof(*pprofOn)
+	if *snapshot != "" {
+		loadSnapshot(apiSrv, *snapshot)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           api.NewServerPool(pool).Handler(),
+		Handler:           apiSrv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	fmt.Printf("holmes-serve %s listening on %s (shards=%d, workers=%d)\n",
 		api.Version, *addr, pool.Shards(), pool.Concurrency())
-	log.Fatal(srv.ListenAndServe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *snapshot != "" && *interval > 0 {
+		go func() {
+			t := time.NewTicker(*interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					writeSnapshot(apiSrv, *snapshot)
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Drain: new admission-gated work answers 429 while in-flight
+	// requests get up to -drain-timeout to finish, then the caches are
+	// snapshotted so the next boot starts warm.
+	log.Printf("holmes-serve: signal received, draining (timeout %s)", *drain)
+	apiSrv.SetDraining(true)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("holmes-serve: drain incomplete: %v", err)
+	}
+	if *snapshot != "" {
+		writeSnapshot(apiSrv, *snapshot)
+	}
+	log.Printf("holmes-serve: shutdown complete")
 }

@@ -95,6 +95,10 @@ type (
 	Engine = engine.Engine
 	// EngineConfig fixes an Engine's behaviour at construction.
 	EngineConfig = engine.Config
+	// SearchStats counts joint-search work: cells simulated, pruned by
+	// the admissible bound, aborted mid-simulation (branch-and-bound),
+	// and whole searches answered from the winner memo.
+	SearchStats = engine.SearchStats
 	// ServePool is the serving layer over engine shards: requests hash to
 	// the shard owning their topology fingerprint, admission is bounded
 	// (shed load answers 429), and identical deterministic requests are

@@ -31,9 +31,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"holmes/internal/config"
 	"holmes/internal/core"
@@ -44,12 +46,18 @@ import (
 )
 
 // Version identifies the API release (mirrors the facade version).
-const Version = "1.4.0"
+const Version = "1.5.0"
 
 // Server serves the Holmes planning API on a pool of engine shards.
 type Server struct {
 	pool   *serve.Pool
 	fleets fleetRegistry
+	// draining answers 429 on every admission-gated route while the
+	// process drains in-flight work before shutdown (SetDraining).
+	draining atomic.Bool
+	// pprofEnabled mounts net/http/pprof under /debug/pprof/ (EnablePprof;
+	// must be set before Handler is called).
+	pprofEnabled bool
 }
 
 // NewServer returns a single-shard server on the given engine (nil = the
@@ -94,9 +102,33 @@ func (s *Server) Handler() http.Handler {
 		http.MethodGet:    s.handleJobGet,
 		http.MethodDelete: s.handleJobCancel,
 	}))
+	if s.pprofEnabled {
+		// Profiling rides outside admission like the other observability
+		// routes: an operator must be able to profile a saturated server.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("/", s.handleNotFound)
 	return mux
 }
+
+// EnablePprof mounts net/http/pprof on the handler returned by the next
+// Handler call. Off by default: profiling endpoints leak operational
+// detail and belong behind an explicit operator flag.
+func (s *Server) EnablePprof(on bool) { s.pprofEnabled = on }
+
+// SetDraining flips drain mode: while draining, every admission-gated
+// route answers 429 with Retry-After so load balancers move new work to
+// other replicas, while in-flight requests (and the observability
+// routes) keep working. The graceful-shutdown path of cmd/holmes-serve
+// sets it just before http.Server.Shutdown.
+func (s *Server) SetDraining(on bool) { s.draining.Store(on) }
+
+// Draining reports whether drain mode is on.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Endpoint names as they appear in /v1/stats.
 const (
@@ -157,6 +189,15 @@ func (s *Server) routeMethods(name string, admit bool, methods map[string]http.H
 			return
 		}
 		if admit {
+			if s.draining.Load() {
+				retry := int(s.pool.RetryAfter().Seconds() + 0.5)
+				if retry < 1 {
+					retry = 1
+				}
+				sw.Header().Set("Retry-After", strconv.Itoa(retry))
+				writeError(sw, http.StatusTooManyRequests, "server draining for shutdown, retry after %ds", retry)
+				return
+			}
 			release, ok := s.pool.Admit(r.Context())
 			if !ok {
 				retry := int(s.pool.RetryAfter().Seconds() + 0.5)
@@ -226,6 +267,7 @@ type HealthResponse struct {
 	Cache       engine.CacheStats        `json:"cache"`
 	PlanCache   engine.CacheStats        `json:"plan_cache"`
 	Responses   serve.ResponseCacheStats `json:"responses"`
+	Search      engine.SearchStats       `json:"search"`
 	Serve       serve.StatsSnapshot      `json:"serve"`
 }
 
@@ -238,6 +280,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Cache:       s.pool.CacheStats(),
 		PlanCache:   s.pool.PlanCacheStats(),
 		Responses:   s.pool.ResponseCacheStats(),
+		Search:      s.pool.SearchStats(),
 		Serve:       s.pool.Stats().Snapshot(),
 	})
 }
@@ -258,6 +301,7 @@ type StatsResponse struct {
 	Cache     engine.CacheStats        `json:"cache"`
 	PlanCache engine.CacheStats        `json:"plan_cache"`
 	Responses serve.ResponseCacheStats `json:"responses"`
+	Search    engine.SearchStats       `json:"search"`
 	Serve     serve.StatsSnapshot      `json:"serve"`
 }
 
@@ -273,6 +317,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Cache:     s.pool.CacheStats(),
 		PlanCache: s.pool.PlanCacheStats(),
 		Responses: s.pool.ResponseCacheStats(),
+		Search:    s.pool.SearchStats(),
 		Serve:     s.pool.Stats().Snapshot(),
 	})
 }

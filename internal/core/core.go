@@ -18,8 +18,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"holmes/internal/comm"
@@ -42,6 +44,11 @@ type Planner struct {
 	// Engine supplies the communicator cache and the search worker pool.
 	// Nil falls back to the shared default engine.
 	Engine *engine.Engine
+	// Exhaustive disables lower-bound pruning and the search-winner memo:
+	// every feasible cell is event-simulated, as the historical search
+	// did. The engine's FullRecompute knob implies it, so the oracle arm
+	// of the differential tests stays one switch.
+	Exhaustive bool
 }
 
 // Plan is one concrete scheduling decision.
@@ -88,6 +95,13 @@ func (pl *Planner) engine() *engine.Engine {
 // built (or fetched from the engine's LRU cache) once and handed to the
 // simulation, which previously rebuilt the identical structures itself.
 func (pl *Planner) Plan(t, p int) (*Plan, error) {
+	return pl.plan(t, p, 0)
+}
+
+// plan is Plan with a branch-and-bound deadline: a positive abortAbove
+// makes the simulation stop (trainer.ErrAboveBound) as soon as its
+// clock proves the candidate slower than the caller's incumbent.
+func (pl *Planner) plan(t, p int, abortAbove float64) (*Plan, error) {
 	eng := pl.engine()
 	n := pl.Topo.NumDevices()
 	deg, err := parallel.TileDegrees(n, t, p)
@@ -107,6 +121,7 @@ func (pl *Planner) Plan(t, p int) (*Plan, error) {
 		TensorSize: t, PipelineSize: p,
 		Framework: pl.Framework, Opt: pl.Opt,
 		World: world, Engine: eng,
+		AbortAbove: abortAbove,
 	})
 	if err != nil {
 		return nil, err
@@ -169,18 +184,164 @@ func (pl *Planner) SearchSpace() []parallel.Degrees {
 	return pl.searchSpace(pl.feasibleTensorDegrees())
 }
 
-// searchBest simulates every candidate concurrently on the engine's
-// bounded worker pool and selects the winner — highest simulated
-// throughput, ties broken by input order — by scanning results in input
-// order, so the outcome is identical to a sequential search no matter how
-// the pool schedules. The error reported when nothing succeeds is the
-// first by input order.
-func (pl *Planner) searchBest(cells []parallel.Degrees) (*Plan, error) {
+// searchBest selects the winner over the candidate cells — highest
+// simulated throughput, ties broken by input order. The default path
+// orders candidates by their admissible throughput upper bound
+// (trainer.LowerBound — no event simulation, no world construction),
+// simulates in bound order on the engine pool, and skips any candidate
+// whose bound cannot beat the incumbent; the winner of a successful
+// search is memoized on the engine's plan cache so identical searches
+// replay with one simulation. The exhaustive scan stays behind the
+// engine's FullRecompute knob (and Planner.Exhaustive) as the
+// bit-identical oracle: winner, Report, and error semantics are
+// identical because the bound is admissible (a pruned cell's true
+// throughput can never exceed its bound, hence never beat the final
+// incumbent), pruning only begins once an incumbent exists (the all-fail
+// case still simulates every cell, so the first-by-input-order error is
+// preserved), and the incumbent fold — better throughput, or equal
+// throughput at a smaller input index — is order-independent.
+func (pl *Planner) searchBest(cells []parallel.Degrees, space string) (*Plan, error) {
+	eng := pl.engine()
+	if eng.FullRecompute() || pl.Exhaustive {
+		return pl.searchExhaustive(cells)
+	}
+	memoKey := pl.searchMemoKey(space)
+	if v, ok := eng.Plan(memoKey); ok {
+		if win, ok := v.(searchMemoVal); ok {
+			if plan, err := pl.Plan(win.T, win.P); err == nil {
+				eng.NoteSearch(1, len(cells)-1, 0, true)
+				return plan, nil
+			}
+			// A memo entry that no longer replays (a snapshot from an
+			// incompatible build) is ignored; the full search below
+			// overwrites it.
+		}
+	}
+
+	// Throughput upper bounds; a cell whose bound errors is simulated
+	// unconditionally so its error surfaces exactly as the oracle's.
+	ubs := make([]float64, len(cells))
+	for i, c := range cells {
+		ub, err := trainer.ThroughputUpperBound(trainer.Config{
+			Topo: pl.Topo, Spec: pl.Spec,
+			TensorSize: c.T, PipelineSize: c.P,
+			Framework: pl.Framework, Opt: pl.Opt,
+		})
+		if err != nil {
+			ub = math.Inf(1)
+		}
+		ubs[i] = ub
+	}
+	order := make([]int, len(cells))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return ubs[order[a]] > ubs[order[b]] })
+
 	plans := make([]*Plan, len(cells))
 	errs := make([]error, len(cells))
-	pl.engine().Go(len(cells), func(i int) {
+	simulated := make([]bool, len(cells))
+	aborted := make([]bool, len(cells))
+	bestThr, bestIdx := math.Inf(-1), -1
+	bestIter := 0.0
+	// beats reports whether simulating cell i could still change the
+	// winner: its bound must beat the incumbent's throughput, or tie it
+	// from a smaller input index (the incumbent's throughput only rises
+	// and its index at equal throughput only falls, so a cell pruned now
+	// stays prunable).
+	beats := func(i int) bool {
+		return bestIdx < 0 || ubs[i] > bestThr || (ubs[i] == bestThr && i < bestIdx)
+	}
+	width := eng.Concurrency()
+	if width < 1 {
+		width = 1
+	}
+	wave := make([]int, 0, width)
+	for next := 0; next < len(order); {
+		wave = wave[:0]
+		for next < len(order) && len(wave) < width {
+			i := order[next]
+			next++
+			if beats(i) {
+				wave = append(wave, i)
+			}
+		}
+		if len(wave) == 0 {
+			continue
+		}
+		// With an incumbent in hand, candidates stop simulating the
+		// moment their clock passes its iteration time (branch-and-bound
+		// on the event clock). A candidate aborted against any incumbent
+		// stays lost against every later one — the incumbent's iteration
+		// time only falls — so winner identity is preserved; ties at
+		// exactly the deadline simulate to completion and tie-break by
+		// input index as usual. No incumbent (or an all-fail search)
+		// means no deadline, so error semantics stay the oracle's.
+		deadline := 0.0
+		if bestIdx >= 0 {
+			deadline = bestIter
+		}
+		eng.Go(len(wave), func(k int) {
+			i := wave[k]
+			plans[i], errs[i] = pl.plan(cells[i].T, cells[i].P, deadline)
+		})
+		for _, i := range wave {
+			if errors.Is(errs[i], trainer.ErrAboveBound) {
+				aborted[i] = true
+				continue
+			}
+			simulated[i] = true
+			if errs[i] != nil {
+				continue
+			}
+			thr := plans[i].Report.Throughput
+			if bestIdx < 0 || thr > bestThr || (thr == bestThr && i < bestIdx) {
+				bestThr, bestIdx = thr, i
+				bestIter = plans[i].Report.IterSeconds
+			}
+		}
+	}
+	simCount, abortCount := 0, 0
+	for i := range cells {
+		if simulated[i] {
+			simCount++
+		}
+		if aborted[i] {
+			abortCount++
+		}
+	}
+	eng.NoteSearch(simCount, len(cells)-simCount-abortCount, abortCount, false)
+
+	if bestIdx < 0 {
+		// No incumbent ever formed, so nothing was pruned: every cell
+		// simulated and failed. Report the first error by input order,
+		// exactly as the oracle does.
+		for i := range cells {
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
+		}
+		return nil, fmt.Errorf("core: no feasible plan for %d devices", pl.Topo.NumDevices())
+	}
+	eng.StorePlan(memoKey, searchMemoVal{T: cells[bestIdx].T, P: cells[bestIdx].P})
+	return plans[bestIdx], nil
+}
+
+// searchExhaustive simulates every candidate concurrently on the
+// engine's bounded worker pool and selects the winner by scanning
+// results in input order (strict throughput improvement to move), so the
+// outcome is identical to a sequential search no matter how the pool
+// schedules. The error reported when nothing succeeds is the first by
+// input order. This is the reference arm the pruned search is
+// differential-tested against.
+func (pl *Planner) searchExhaustive(cells []parallel.Degrees) (*Plan, error) {
+	plans := make([]*Plan, len(cells))
+	errs := make([]error, len(cells))
+	eng := pl.engine()
+	eng.Go(len(cells), func(i int) {
 		plans[i], errs[i] = pl.Plan(cells[i].T, cells[i].P)
 	})
+	eng.NoteSearch(len(cells), 0, 0, false)
 	var best *Plan
 	var firstErr error
 	for i := range cells {
@@ -212,7 +373,7 @@ func (pl *Planner) SearchPipeline(t int) (*Plan, error) {
 	if len(cells) == 0 {
 		return nil, fmt.Errorf("core: no feasible pipeline degree for %d devices", pl.Topo.NumDevices())
 	}
-	return pl.searchBest(cells)
+	return pl.searchBest(cells, fmt.Sprintf("t=%d", t))
 }
 
 // SearchPlan searches tensor and pipeline degrees jointly: every feasible
@@ -227,7 +388,7 @@ func (pl *Planner) SearchPlan() (*Plan, error) {
 	if len(cells) == 0 {
 		return nil, fmt.Errorf("core: no feasible (t, p) for %d devices", pl.Topo.NumDevices())
 	}
-	return pl.searchBest(cells)
+	return pl.searchBest(cells, "joint")
 }
 
 // CommunicationCost estimates the per-iteration communication volume each

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"holmes/internal/engine"
+	"holmes/internal/model"
+	"holmes/internal/topology"
+	"holmes/internal/trainer"
+)
+
+// The pruned joint search is a pure performance change: its winner, the
+// winner's full report, and its error behaviour must be bit-identical to
+// the exhaustive scan it replaced (Planner.Exhaustive, the reference
+// arm). These tests run both arms on fresh engines — fresh so neither
+// the winner memo nor the communicator cache lets one arm see the
+// other's work — and compare everything observable.
+
+// newArm builds a planner on its own engine.
+func newArm(t *testing.T, env topology.EnvName, nodes, group int, exhaustive bool) *Planner {
+	t.Helper()
+	topo, err := topology.Env(env, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := NewPlannerOn(engine.New(engine.Config{}), topo, model.Group(group).Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl.Exhaustive = exhaustive
+	return pl
+}
+
+// comparePlans asserts two search outcomes are bit-identical: same error
+// string or same winner degrees, partition, and full report.
+func comparePlans(t *testing.T, label string, got, want *Plan, gotErr, wantErr error) {
+	t.Helper()
+	if (gotErr != nil) != (wantErr != nil) {
+		t.Fatalf("%s: error mismatch: pruned %v vs exhaustive %v", label, gotErr, wantErr)
+	}
+	if gotErr != nil {
+		if gotErr.Error() != wantErr.Error() {
+			t.Fatalf("%s: error text diverged: %q vs %q", label, gotErr, wantErr)
+		}
+		return
+	}
+	if got.Degrees != want.Degrees {
+		t.Fatalf("%s: winner diverged: pruned %+v vs exhaustive %+v", label, got.Degrees, want.Degrees)
+	}
+	if !reflect.DeepEqual(got.Partition, want.Partition) {
+		t.Fatalf("%s: partition diverged:\npruned     %+v\nexhaustive %+v", label, got.Partition, want.Partition)
+	}
+	if !reflect.DeepEqual(got.Report, want.Report) {
+		t.Fatalf("%s: report diverged:\npruned     %+v\nexhaustive %+v", label, got.Report, want.Report)
+	}
+}
+
+// TestSearchPlanMatchesExhaustive is the Table-3-shaped differential:
+// every environment, both node counts, two parameter groups.
+func TestSearchPlanMatchesExhaustive(t *testing.T) {
+	for _, env := range []topology.EnvName{
+		topology.EnvInfiniBand, topology.EnvRoCE, topology.EnvEthernet, topology.EnvHybrid,
+	} {
+		for _, nodes := range []int{4, 8} {
+			for _, group := range []int{1, 3} {
+				pruned := newArm(t, env, nodes, group, false)
+				oracle := newArm(t, env, nodes, group, true)
+				got, gotErr := pruned.SearchPlan()
+				want, wantErr := oracle.SearchPlan()
+				label := string(env) + "/" + string(rune('0'+nodes)) + "n/group" + string(rune('0'+group))
+				comparePlans(t, label, got, want, gotErr, wantErr)
+
+				// The pruned arm must actually prune somewhere on this
+				// grid; counters prove the fast path ran (not a silent
+				// fall-through to the exhaustive scan).
+				st := pruned.Engine.SearchStats()
+				if st.Searches != 1 {
+					t.Fatalf("%s: pruned arm ran %d searches", label, st.Searches)
+				}
+				if ost := oracle.Engine.SearchStats(); ost.Pruned != 0 {
+					t.Fatalf("%s: exhaustive arm pruned %d cells", label, ost.Pruned)
+				}
+			}
+		}
+	}
+}
+
+// TestSearchPlanPrunesSomething pins the perf claim behind the tentpole:
+// on at least one representative cell the bound must rule out candidates
+// without simulating them.
+func TestSearchPlanPrunesSomething(t *testing.T) {
+	pl := newArm(t, topology.EnvHybrid, 8, 1, false)
+	if _, err := pl.SearchPlan(); err != nil {
+		t.Fatal(err)
+	}
+	st := pl.Engine.SearchStats()
+	if st.Pruned+st.Aborted == 0 {
+		t.Fatalf("no cells pruned or aborted (simulated %d) — bound too loose to pay for itself", st.Simulated)
+	}
+	t.Logf("hybrid/8n/group1: simulated %d, pruned %d, aborted %d", st.Simulated, st.Pruned, st.Aborted)
+}
+
+// TestSearchPipelineMatchesExhaustive covers the single-axis restriction
+// of the same code path.
+func TestSearchPipelineMatchesExhaustive(t *testing.T) {
+	for _, tile := range []int{1, 2} {
+		pruned := newArm(t, topology.EnvRoCE, 4, 1, false)
+		oracle := newArm(t, topology.EnvRoCE, 4, 1, true)
+		got, gotErr := pruned.SearchPipeline(tile)
+		want, wantErr := oracle.SearchPipeline(tile)
+		comparePlans(t, "t="+string(rune('0'+tile)), got, want, gotErr, wantErr)
+	}
+}
+
+// TestSearchPlanMatchesExhaustiveRandomized drives both arms over
+// random frameworks and option perturbations. Seeded; runs under -race
+// in CI like every test.
+func TestSearchPlanMatchesExhaustiveRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	envs := []topology.EnvName{
+		topology.EnvInfiniBand, topology.EnvRoCE, topology.EnvEthernet, topology.EnvHybrid,
+	}
+	for trial := 0; trial < 6; trial++ {
+		env := envs[rng.Intn(len(envs))]
+		nodes := 4 + 2*rng.Intn(2) // 4, 6
+		group := 1 + rng.Intn(2)
+		fw := trainer.AllFrameworks[rng.Intn(len(trainer.AllFrameworks))]
+		opt := trainer.DefaultOptions(fw)
+		opt.OverlappedOptimizer = rng.Intn(2) == 0
+		opt.SelfAdaptingPartition = rng.Intn(2) == 0
+		opt.ExtraDPTraffic = 1 + rng.Float64()
+
+		pruned := newArm(t, env, nodes, group, false)
+		pruned.Framework, pruned.Opt = fw, &opt
+		oracle := newArm(t, env, nodes, group, true)
+		oracle.Framework, oracle.Opt = fw, &opt
+
+		got, gotErr := pruned.SearchPlan()
+		want, wantErr := oracle.SearchPlan()
+		comparePlans(t, string(env)+"/"+string(fw), got, want, gotErr, wantErr)
+	}
+}
+
+// TestSearchMemoReplaysIdentically runs the same search twice on one
+// engine: the second run must be answered by the winner memo (one replay
+// simulation) and return a bit-identical plan.
+func TestSearchMemoReplaysIdentically(t *testing.T) {
+	pl := newArm(t, topology.EnvHybrid, 4, 1, false)
+	first, err := pl.SearchPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := pl.SearchPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	comparePlans(t, "memo replay", second, first, nil, nil)
+	st := pl.Engine.SearchStats()
+	if st.MemoHits != 1 {
+		t.Fatalf("second search should hit the winner memo once, counters: %+v", st)
+	}
+	if st.Searches != 2 {
+		t.Fatalf("expected 2 searches, counters: %+v", st)
+	}
+
+	// A different candidate space must not share the memo entry.
+	if _, err := pl.SearchPipeline(1); err != nil {
+		t.Fatal(err)
+	}
+	if st := pl.Engine.SearchStats(); st.MemoHits != 1 {
+		t.Fatalf("t=1 search shares the joint memo entry, counters: %+v", st)
+	}
+}
+
+// TestExhaustiveArmSkipsMemo: the oracle arms must not read or write the
+// winner memo, or they would stop being independent evidence.
+func TestExhaustiveArmSkipsMemo(t *testing.T) {
+	pl := newArm(t, topology.EnvRoCE, 4, 1, true)
+	for i := 0; i < 2; i++ {
+		if _, err := pl.SearchPlan(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := pl.Engine.SearchStats()
+	if st.MemoHits != 0 || st.Pruned != 0 {
+		t.Fatalf("exhaustive arm used the fast path: %+v", st)
+	}
+}
+
+// TestFullRecomputeEngineImpliesExhaustive: the engine-level oracle knob
+// must route searches down the exhaustive path without touching the
+// planner flag.
+func TestFullRecomputeEngineImpliesExhaustive(t *testing.T) {
+	topo, err := topology.Env(topology.EnvRoCE, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := NewPlannerOn(engine.New(engine.Config{FullRecompute: true}), topo, model.Group(1).Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.SearchPlan(); err != nil {
+		t.Fatal(err)
+	}
+	st := pl.Engine.SearchStats()
+	if st.Pruned != 0 || st.MemoHits != 0 {
+		t.Fatalf("full-recompute engine still pruned or memoized: %+v", st)
+	}
+	if st.Simulated == 0 {
+		t.Fatalf("no cells simulated: %+v", st)
+	}
+}
+
+// TestSearchErrorIdenticalWhenNothingFeasible: when the space is empty
+// both arms must fail with the same message.
+func TestSearchErrorIdenticalWhenNothingFeasible(t *testing.T) {
+	topo, err := topology.Env(topology.EnvInfiniBand, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := model.Group(1).Spec
+	spec.GlobalBatch = 7 // prime, far below any feasible micro-batching grid
+	pruned, err := NewPlannerOn(engine.New(engine.Config{}), topo, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := NewPlannerOn(engine.New(engine.Config{}), topo, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle.Exhaustive = true
+	_, prunedErr := pruned.SearchPlan()
+	_, oracleErr := oracle.SearchPlan()
+	if prunedErr == nil || oracleErr == nil {
+		t.Fatalf("expected both arms to fail: pruned %v, exhaustive %v", prunedErr, oracleErr)
+	}
+	if prunedErr.Error() != oracleErr.Error() {
+		t.Fatalf("error text diverged: %q vs %q", prunedErr, oracleErr)
+	}
+}

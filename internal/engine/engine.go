@@ -59,6 +59,7 @@ type Engine struct {
 	fullRecompute bool
 	cache         lru[worldKey, worldVal]
 	plans         lru[any, any]
+	search        searchCounters
 }
 
 // New constructs an Engine, normalizing zero config fields to defaults.

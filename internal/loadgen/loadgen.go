@@ -65,9 +65,31 @@ type Options struct {
 	BatchSize int
 	// Seed makes the per-worker request sequences reproducible (0 = 1).
 	Seed int64
+	// WarmBoot replaces the timed random mix with one deterministic pass
+	// over the whole corpus (every plan, search, and simulate body exactly
+	// once, split across workers). Against a snapshot-warmed server this
+	// measures cache effectiveness from boot: Duration and Mix are
+	// ignored, and Result.Cache tells whether the answers came from cache.
+	WarmBoot bool
 	// Client overrides the HTTP client (nil = a default with generous
 	// connection reuse for Workers connections).
 	Client *http.Client
+}
+
+// CacheReport is the server's cache effectiveness over the run, scraped
+// from GET /v1/stats when it finishes. Ratios are hits/(hits+misses);
+// a run against a server that also took other traffic reports the
+// server-lifetime ratios, not this run's alone.
+type CacheReport struct {
+	ResponseHits     uint64  `json:"response_hits"`
+	ResponseMisses   uint64  `json:"response_misses"`
+	ResponseHitRatio float64 `json:"response_hit_ratio"`
+	PlanHits         uint64  `json:"plan_hits"`
+	PlanMisses       uint64  `json:"plan_misses"`
+	PlanHitRatio     float64 `json:"plan_hit_ratio"`
+	// SearchMemoHits counts joint searches answered by the persisted
+	// search-winner memo (one replay simulation instead of a full walk).
+	SearchMemoHits uint64 `json:"search_memo_hits"`
 }
 
 // Result is the JSON report of a run.
@@ -85,6 +107,9 @@ type Result struct {
 	Errors     uint64            `json:"errors"`
 	FirstError string            `json:"first_error,omitempty"`
 	ByKind     map[string]uint64 `json:"by_kind"`
+	// Cache is the server's cache effectiveness scraped from /v1/stats at
+	// the end of the run (nil when the scrape fails).
+	Cache *CacheReport `json:"cache,omitempty"`
 	// RequestsPerSec is completed round trips per second.
 	RequestsPerSec float64 `json:"requests_per_sec"`
 	// PlanAnswersPerSec counts successful plan answers per second —
@@ -211,6 +236,52 @@ func Run(o Options) (Result, error) {
 		v.(*atomic.Uint64).Add(1)
 	}
 
+	// fire posts one request and classifies the answer. It reports whether
+	// the request landed (anything but a 429 shed).
+	fire := func(kind, path, body string) bool {
+		t0 := time.Now()
+		resp, err := client.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			requests.Add(1)
+			errCount.Add(1)
+			firstErr.CompareAndSwap(nil, fmt.Sprintf("%s: %v", kind, err))
+			return true
+		}
+		payload, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		hist.Observe(time.Since(t0))
+		requests.Add(1)
+		countKind(kind)
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			okCount.Add(1)
+			switch kind {
+			case "plan":
+				planAnswers.Add(1)
+			case "batch":
+				var br struct {
+					Count  int `json:"count"`
+					Errors int `json:"errors"`
+				}
+				if json.Unmarshal(payload, &br) == nil && br.Count > br.Errors {
+					planAnswers.Add(uint64(br.Count - br.Errors))
+				}
+			}
+			return true
+		case resp.StatusCode == http.StatusTooManyRequests:
+			rejected.Add(1)
+			// Shed load: yield briefly instead of hammering the
+			// full Retry-After (a closed-loop generator that
+			// sleeps 1s per 429 measures its own sleep).
+			time.Sleep(5 * time.Millisecond)
+			return false
+		default:
+			errCount.Add(1)
+			firstErr.CompareAndSwap(nil, fmt.Sprintf("%s: status %d: %s", kind, resp.StatusCode, truncate(payload, 200)))
+			return true
+		}
+	}
+
 	deadline := time.Now().Add(o.Duration)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -219,6 +290,31 @@ func Run(o Options) (Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			if o.WarmBoot {
+				// One deterministic pass: worker w takes corpus items
+				// w, w+Workers, ... A 429 is retried (bounded) because
+				// warm-boot measures cache coverage — every item must land.
+				type item struct{ kind, path, body string }
+				var corpus []item
+				for _, b := range plans {
+					corpus = append(corpus, item{"plan", "/v1/plan", b})
+				}
+				for _, b := range searches {
+					corpus = append(corpus, item{"search", "/v1/search", b})
+				}
+				for _, b := range sims {
+					corpus = append(corpus, item{"simulate", "/v1/simulate", b})
+				}
+				for i := w; i < len(corpus); i += o.Workers {
+					it := corpus[i]
+					for attempt := 0; attempt < 50; attempt++ {
+						if fire(it.kind, it.path, it.body) {
+							break
+						}
+					}
+				}
+				return
+			}
 			rng := rand.New(rand.NewSource(o.Seed + int64(w)))
 			for time.Now().Before(deadline) {
 				kind, path, body := "plan", "/v1/plan", ""
@@ -235,44 +331,7 @@ func Run(o Options) (Result, error) {
 					kind, path = "batch", "/v1/plan/batch"
 					body = batches[rng.Intn(len(batches))]
 				}
-				t0 := time.Now()
-				resp, err := client.Post(base+path, "application/json", strings.NewReader(body))
-				if err != nil {
-					requests.Add(1)
-					errCount.Add(1)
-					firstErr.CompareAndSwap(nil, fmt.Sprintf("%s: %v", kind, err))
-					continue
-				}
-				payload, _ := io.ReadAll(resp.Body)
-				resp.Body.Close()
-				hist.Observe(time.Since(t0))
-				requests.Add(1)
-				countKind(kind)
-				switch {
-				case resp.StatusCode == http.StatusOK:
-					okCount.Add(1)
-					switch kind {
-					case "plan":
-						planAnswers.Add(1)
-					case "batch":
-						var br struct {
-							Count  int `json:"count"`
-							Errors int `json:"errors"`
-						}
-						if json.Unmarshal(payload, &br) == nil && br.Count > br.Errors {
-							planAnswers.Add(uint64(br.Count - br.Errors))
-						}
-					}
-				case resp.StatusCode == http.StatusTooManyRequests:
-					rejected.Add(1)
-					// Shed load: yield briefly instead of hammering the
-					// full Retry-After (a closed-loop generator that
-					// sleeps 1s per 429 measures its own sleep).
-					time.Sleep(5 * time.Millisecond)
-				default:
-					errCount.Add(1)
-					firstErr.CompareAndSwap(nil, fmt.Sprintf("%s: status %d: %s", kind, resp.StatusCode, truncate(payload, 200)))
-				}
+				fire(kind, path, body)
 			}
 		}()
 	}
@@ -300,7 +359,53 @@ func Run(o Options) (Result, error) {
 		res.RequestsPerSec = float64(res.Requests) / elapsed
 		res.PlanAnswersPerSec = float64(planAnswers.Load()) / elapsed
 	}
+	res.Cache = scrapeCache(client, base)
 	return res, nil
+}
+
+// scrapeCache reads the server's cache counters from GET /v1/stats. The
+// scrape is best-effort observability — a server without the endpoint
+// (or an unreachable one at teardown) yields nil, not a failed run.
+func scrapeCache(client *http.Client, base string) *CacheReport {
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var stats struct {
+		PlanCache struct {
+			Hits   uint64 `json:"hits"`
+			Misses uint64 `json:"misses"`
+		} `json:"plan_cache"`
+		Responses struct {
+			Hits   uint64 `json:"hits"`
+			Misses uint64 `json:"misses"`
+		} `json:"responses"`
+		Search struct {
+			MemoHits uint64 `json:"memo_hits"`
+		} `json:"search"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return nil
+	}
+	ratio := func(hits, misses uint64) float64 {
+		if hits+misses == 0 {
+			return 0
+		}
+		return float64(hits) / float64(hits+misses)
+	}
+	return &CacheReport{
+		ResponseHits:     stats.Responses.Hits,
+		ResponseMisses:   stats.Responses.Misses,
+		ResponseHitRatio: ratio(stats.Responses.Hits, stats.Responses.Misses),
+		PlanHits:         stats.PlanCache.Hits,
+		PlanMisses:       stats.PlanCache.Misses,
+		PlanHitRatio:     ratio(stats.PlanCache.Hits, stats.PlanCache.Misses),
+		SearchMemoHits:   stats.Search.MemoHits,
+	}
 }
 
 func truncate(b []byte, n int) string {

@@ -26,6 +26,12 @@ type ExecConfig struct {
 	// backward pass — the hook the overlapped distributed optimizer uses to
 	// start gradient reduce-scatter buckets during the pipeline.
 	OnBackwardDone func(stage, micro int, now sim.Time)
+	// OnOpDone, if set, fires after every op completes with the stage's
+	// remaining forward and backward op counts. A stage runs its ops
+	// serially, so the counts bound the stage's remaining busy time from
+	// below — the hook branch-and-bound callers use to prove an iteration
+	// cannot finish in time and halt the engine early.
+	OnOpDone func(stage, remForward, remBackward int, now sim.Time)
 	// OnDone fires when the whole schedule (all stages) completes.
 	OnDone func(now sim.Time)
 }
@@ -40,6 +46,8 @@ type Executor struct {
 	pos      []int    // index of the first unexecuted op per stage
 	executed [][]bool // per stage, per op index: already run out of order
 	busy     []bool   // stage compute engine in use
+	remF     []int    // forwards not yet completed, per stage
+	remB     []int    // backwards not yet completed, per stage
 	fReady   [][]bool // activation for F_{s,i} arrived
 	bReady   [][]bool // gradient for B_{s,i} arrived
 	fDone    [][]bool
@@ -71,7 +79,13 @@ func NewExecutor(eng *sim.Engine, fab *netsim.Fabric, sched *Schedule, cfg ExecC
 		pos:      make([]int, p),
 		executed: make([][]bool, p),
 		busy:     make([]bool, p),
+		remF:     make([]int, p),
+		remB:     make([]int, p),
 		total:    p * 2 * sched.Micro,
+	}
+	for s := 0; s < p; s++ {
+		e.remF[s] = sched.Micro
+		e.remB[s] = sched.Micro
 	}
 	e.fReady = make([][]bool, p)
 	e.bReady = make([][]bool, p)
@@ -162,6 +176,11 @@ func (e *Executor) launch(s, idx int, op Op) {
 func (e *Executor) complete(s int, op Op) {
 	e.busy[s] = false
 	p := e.sched.Stages
+	if op.Kind == Forward {
+		e.remF[s]--
+	} else {
+		e.remB[s]--
+	}
 	switch op.Kind {
 	case Forward:
 		e.fDone[s][op.Micro] = true
@@ -188,6 +207,9 @@ func (e *Executor) complete(s int, op Op) {
 		if e.cfg.OnDone != nil {
 			e.cfg.OnDone(e.eng.Now())
 		}
+	}
+	if e.cfg.OnOpDone != nil {
+		e.cfg.OnOpDone(s, e.remF[s], e.remB[s], e.eng.Now())
 	}
 	e.tryAdvance(s)
 }

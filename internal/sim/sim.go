@@ -72,6 +72,7 @@ type Engine struct {
 	nextSeq uint64
 	fired   uint64
 	running bool
+	halted  bool
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
@@ -132,22 +133,25 @@ func (e *Engine) Step() bool {
 	return false
 }
 
-// Run fires events until none remain, returning the final virtual time.
+// Run fires events until none remain (or Halt is called), returning the
+// final virtual time.
 func (e *Engine) Run() Time {
 	if e.running {
 		panic("sim: Run called reentrantly")
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for e.Step() {
+	for !e.halted && e.Step() {
 	}
 	return e.now
 }
 
 // RunUntil fires events with At <= deadline; the clock ends at
 // min(deadline, last event time) if events remain, else at the last event.
+// A Halt from inside an event callback stops the loop immediately, leaving
+// the clock where the halting event fired.
 func (e *Engine) RunUntil(deadline Time) Time {
-	for len(e.pending) > 0 {
+	for !e.halted && len(e.pending) > 0 {
 		// Peek: pending[0] is the earliest live event only after skipping
 		// dead ones, so pop-and-check like Step does.
 		next := e.pending[0]
@@ -160,11 +164,20 @@ func (e *Engine) RunUntil(deadline Time) Time {
 		}
 		e.Step()
 	}
-	if e.now < deadline {
+	if !e.halted && e.now < deadline {
 		e.now = deadline
 	}
 	return e.now
 }
+
+// Halt makes Run and RunUntil return before firing their next event. An
+// event callback calls it when it can prove the rest of the simulation is
+// not worth computing (branch-and-bound aborts); the queue is left as-is,
+// so the simulation state is abandoned, not completed.
+func (e *Engine) Halt() { e.halted = true }
+
+// Halted reports whether Halt has been called since the last Reset.
+func (e *Engine) Halted() bool { return e.halted }
 
 // Reset returns the engine to time zero with no pending events.
 func (e *Engine) Reset() {
@@ -172,4 +185,5 @@ func (e *Engine) Reset() {
 	e.pending = nil
 	e.nextSeq = 0
 	e.fired = 0
+	e.halted = false
 }

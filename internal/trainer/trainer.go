@@ -14,6 +14,7 @@ package trainer
 
 import (
 	"fmt"
+	"math"
 
 	"holmes/internal/collective"
 	"holmes/internal/comm"
@@ -52,6 +53,13 @@ type Config struct {
 	// unless an explicit Calib overrides it. Nil means build communicators
 	// ad hoc and use the incremental rebalancer.
 	Engine *engine.Engine
+	// AbortAbove, when positive, stops the event simulation as soon as
+	// the virtual clock strictly exceeds it and returns ErrAboveBound:
+	// the caller has a complete plan at that iteration time, so a
+	// candidate still running past it has strictly lost (the clock is
+	// monotone). Iterations finishing at or before the deadline are
+	// reported exactly. Zero simulates to completion.
+	AbortAbove float64
 	// Scenario scripts cluster events (NIC degradation, node failure,
 	// background traffic) onto the iteration's fabric at their simulated
 	// instants, so the report measures step time under the events rather
@@ -252,13 +260,66 @@ func Simulate(cfg Config) (Report, error) {
 			},
 			OnDone: func(now sim.Time) { st.pipelineDone(now) },
 		}
+		if cfg.AbortAbove > 0 {
+			// Branch-and-bound projection. A stage executes its remaining
+			// ops serially at fixed compute durations, so at every op
+			// completion two lower bounds on the iteration end hold:
+			//   end ≥ now + remF·tf + remB·tb            (the pipe must drain)
+			//   end ≥ now + remB·tb + minTail(stage)     (the stage's DP group
+			//       reduces, steps, and gathers only after its last backward)
+			// Under the non-overlapped optimizer every group waits for the
+			// full flush, so the tail stacks on the whole drain. The moment
+			// either bound provably exceeds the incumbent's iteration time
+			// the candidate has lost and the engine halts — this fires long
+			// before the clock itself reaches the incumbent's time, which is
+			// what makes losing cells cheap. The 1e-9 relative slack keeps a
+			// product-form projection from out-rounding the simulator's
+			// sequential additions: a candidate inside the slack simulates on
+			// to the RunUntil deadline and aborts there instead, so the
+			// search outcome is unchanged either way.
+			tail := make([]float64, p)
+			for s := 0; s < p; s++ {
+				tail[s] = st.minTail(pg.Ranks[s])
+			}
+			deadline := cfg.AbortAbove * (1 + 1e-9)
+			overlapped := opt.OverlappedOptimizer
+			cfgExec.OnOpDone = func(s, remF, remB int, now sim.Time) {
+				drain := float64(remF)*tf[s] + float64(remB)*tb[s]
+				var lb float64
+				if overlapped {
+					lb = math.Max(drain, float64(remB)*tb[s]+tail[s])
+				} else {
+					lb = drain + tail[s]
+				}
+				if now+lb > deadline {
+					eng.Halt()
+				}
+			}
+		}
 		ex, err := pipeline.NewExecutor(eng, fab, sched, cfgExec)
 		if err != nil {
 			return Report{}, err
 		}
 		eng.At(stagger, ex.Start)
 	}
-	eng.Run()
+	if cfg.AbortAbove > 0 {
+		// Branch-and-bound arm: the caller knows a plan finishing in
+		// AbortAbove seconds, and the event clock only moves forward, so
+		// the moment the clock passes it this candidate has strictly lost
+		// — stop paying for events that cannot change the search outcome.
+		// An iteration finishing exactly at the deadline still completes
+		// (RunUntil fires events at the deadline), so ties simulate fully
+		// and tie-breaking stays bit-identical.
+		eng.RunUntil(cfg.AbortAbove)
+		if !st.finished() {
+			if eng.Halted() || eng.Pending() > 0 {
+				return Report{}, ErrAboveBound
+			}
+			return Report{}, fmt.Errorf("trainer: iteration did not complete (deadlock in simulation)")
+		}
+	} else {
+		eng.Run()
+	}
 	if !st.finished() {
 		return Report{}, fmt.Errorf("trainer: iteration did not complete (deadlock in simulation)")
 	}
@@ -555,6 +616,33 @@ func (st *iterState) maybeFinish() {
 
 func (st *iterState) finished() bool {
 	return st.doneCount == len(st.groups) && st.pipesLeft == 0
+}
+
+// minTail returns a lower bound on the post-backward tail of the rank's
+// data-parallel group: the optimizer step, plus — for multi-rank groups —
+// the best-case wall time of the final gradient bucket's reduce-scatter
+// and the parameter all-gather. A ring collective finishes no earlier than
+// its slowest edge, and no edge's flow ever beats that edge's uncontended
+// capacity, so the group's worst pair capacity bounds both collectives
+// from below even on a pristine fabric.
+func (st *iterState) minTail(rank int) float64 {
+	gs := st.groups[st.assign.DPRow(rank)]
+	d := len(gs.group.Ranks)
+	out := st.calib.OptimizerSeconds
+	if d == 1 {
+		return out
+	}
+	perEdge := float64(d-1) / float64(d) * (gs.gradBytes/float64(gs.buckets) + gs.paramBytes)
+	worst := 0.0
+	for i := range gs.group.Ranks {
+		src, dst := gs.group.Ranks[i], gs.group.Ranks[(i+1)%d]
+		if bw := st.fab.PairBandwidth(src, dst, gs.group.Class); bw > 0 {
+			if t := perEdge / bw; t > worst {
+				worst = t
+			}
+		}
+	}
+	return out + worst
 }
 
 func (st *iterState) maxRSTime() float64 {
