@@ -19,6 +19,7 @@ import (
 	"holmes/internal/experiments"
 	"holmes/internal/loadgen"
 	"holmes/internal/model"
+	"holmes/internal/scenario"
 	"holmes/internal/serve"
 	"holmes/internal/topology"
 	"holmes/internal/trainer"
@@ -98,6 +99,37 @@ func BenchmarkFigure7(b *testing.B) {
 func BenchmarkTable4(b *testing.B) {
 	rows := benchExperiment(b, "table4")
 	b.ReportMetric(rows[1].TFLOPS, "Holmes-TFLOPS")
+}
+
+// BenchmarkScenarioImpaired times one PG3 hybrid iteration under the
+// scenario grid's impairment arm (straggler + loss + delay + seeded
+// jitter on node 0): the cost of the per-flow impairment fold — jitter
+// draws, latency stacking, efficiency derating — on top of a plain
+// simulation. Gated against BENCH_baseline.json in CI.
+func BenchmarkScenarioImpaired(b *testing.B) {
+	topo := topology.HybridEnv(8)
+	spec := model.Group(3).Spec
+	var sc *scenario.Scenario
+	for _, v := range experiments.ScenarioVariants {
+		if v.Name == "impaired" {
+			sc = v
+		}
+	}
+	if sc == nil {
+		b.Fatal("scenario grid lost its impaired arm")
+	}
+	var rep trainer.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = trainer.Simulate(trainer.Config{
+			Topo: topo, Spec: spec, TensorSize: 1, PipelineSize: 4,
+			Framework: trainer.Holmes, Scenario: sc,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.TFLOPS, "TFLOPS")
 }
 
 // --- Ablation benches beyond the paper ---

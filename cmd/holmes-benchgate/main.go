@@ -151,12 +151,13 @@ func main() {
 	g := gates{}
 	maxRegress := flag.Float64("max-regress", 0.25, "allowed fractional ns/op regression vs the ledger")
 	maxAllocRegress := flag.Float64("max-alloc-regress", 0.25, "allowed fractional allocs/op regression vs the ledger (for ledger entries that record allocs_per_op)")
-	flag.Var(g, "gate", "BenchmarkName=ledger.json (repeatable; default gates Table3, PlanBatch, the three fleet benchmarks, SearchCold, and WarmBoot)")
+	flag.Var(g, "gate", "BenchmarkName=ledger.json (repeatable; default gates Table3, ScenarioImpaired, PlanBatch, the three fleet benchmarks, SearchCold, and WarmBoot)")
 	input := flag.String("input", "-", "bench output file (- = stdin)")
 	flag.Parse()
 	if len(g) == 0 {
 		g = gates{
 			"BenchmarkTable3":            "BENCH_baseline.json",
+			"BenchmarkScenarioImpaired":  "BENCH_baseline.json",
 			"BenchmarkPlanBatch":         "BENCH_serve.json",
 			"BenchmarkFleetSchedule":     "BENCH_fleet.json",
 			"BenchmarkFleetScheduleWarm": "BENCH_fleet.json",

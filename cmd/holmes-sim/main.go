@@ -7,9 +7,12 @@
 //	holmes-sim -env Hybrid -nodes 8 -group 3 -pipeline 4 -framework Holmes
 //	holmes-sim -env Hybrid -nodes 8 -group 3 -pipeline 4 -scenario faults.json
 //
-// A scenario file scripts cluster events (degraded NICs, failed nodes,
-// background traffic) onto the simulated fabric; see internal/scenario
-// for the JSON schema.
+// A scenario file scripts cluster events onto the simulated fabric:
+// capacity faults (degraded NICs, failed nodes and clusters, stragglers,
+// flapping links, partitions), packet impairments (added delay, seeded
+// jitter, loss/corrupt goodput derates), and background traffic. See
+// internal/scenario for the JSON schema and EXPERIMENTS.md for the
+// event table.
 package main
 
 import (

@@ -69,6 +69,72 @@ func TestSimulateEndpointUnderScenario(t *testing.T) {
 	}
 }
 
+// TestSimulateEndpointImpairmentVocabulary drives /v1/simulate through
+// the packet-impairment kinds: a lossy straggling fabric must be slower
+// than pristine, a partition must bite the cross-cluster trunk, and a
+// fixed scenario seed must make jittered runs reproducible.
+func TestSimulateEndpointImpairmentVocabulary(t *testing.T) {
+	srv := newTestServer(t)
+	_, pristineBody := post(t, srv, "/v1/simulate", simulateBody)
+	var pristine SimulateResponse
+	if err := json.Unmarshal(pristineBody, &pristine); err != nil {
+		t.Fatal(err)
+	}
+
+	impaired := strings.TrimSuffix(simulateBody, "}") + `,"scenario":{"name":"impaired","seed":11,"events":[
+		{"kind":"loss","at":0,"node":0,"pct":20},
+		{"kind":"delay","at":0,"node":1,"delay_ms":2,"direction":"both"},
+		{"kind":"jitter","at":0,"node":1,"jitter_ms":0.5,"dist":"pareto"},
+		{"kind":"straggler","at":0,"node":2,"factor":0.5}]}}`
+	code, body := post(t, srv, "/v1/simulate", impaired)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var r SimulateResponse
+	if err := json.Unmarshal(body, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Scenario != "impaired" || r.ScenarioEvents != 4 {
+		t.Fatalf("scenario not reported: %+v", r)
+	}
+	if !(r.Report.IterSeconds > pristine.Report.IterSeconds) {
+		t.Fatalf("lossy straggling fabric not slower: %v vs pristine %v",
+			r.Report.IterSeconds, pristine.Report.IterSeconds)
+	}
+
+	// Same timeline and seed under a different name (to dodge the request
+	// coalescer): the jittered report must reproduce bit for bit.
+	again := strings.Replace(impaired, `"name":"impaired"`, `"name":"impaired-2"`, 1)
+	code, body = post(t, srv, "/v1/simulate", again)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var r2 SimulateResponse
+	if err := json.Unmarshal(body, &r2); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Report != r.Report {
+		t.Fatalf("seeded jitter not reproducible:\n%+v\n%+v", r.Report, r2.Report)
+	}
+
+	// A partition saturates the cross-cluster trunk down to its failure
+	// residual for the window; hybrid pipeline traffic must crawl.
+	part := strings.TrimSuffix(simulateBody, "}") +
+		`,"scenario":{"name":"split","events":[{"kind":"partition","at":0,"cluster":0,"peer":1,"until":1e6}]}}`
+	code, body = post(t, srv, "/v1/simulate", part)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var p SimulateResponse
+	if err := json.Unmarshal(body, &p); err != nil {
+		t.Fatal(err)
+	}
+	if !(p.Report.IterSeconds > 10*pristine.Report.IterSeconds) {
+		t.Fatalf("partition barely bit: %v vs pristine %v",
+			p.Report.IterSeconds, pristine.Report.IterSeconds)
+	}
+}
+
 func TestSimulateEndpointRejectsBadRequests(t *testing.T) {
 	srv := newTestServer(t)
 	cases := []struct {

@@ -408,6 +408,16 @@ var ScenarioVariants = []*scenario.Scenario{
 	{Name: "failed", Events: []scenario.Event{
 		{Kind: scenario.FailNode, At: 0, Node: 0},
 	}},
+	// The impaired arm exercises the packet-impairment vocabulary: node 0
+	// straggles at 70%, loses 10% of RDMA traffic (goodput derate), and
+	// sees 1 ms extra RDMA latency with a seeded heavy-tailed jitter on
+	// top — a lossy, late, slow node rather than a dead one.
+	{Name: "impaired", Seed: 17, Events: []scenario.Event{
+		{Kind: scenario.Straggler, At: 0, Node: 0, Factor: 0.7},
+		{Kind: scenario.Loss, At: 0, Node: 0, Class: scenario.ClassRDMA, Pct: 10},
+		{Kind: scenario.Delay, At: 0, Node: 0, Class: scenario.ClassRDMA, DelayMs: 1, Direction: "both"},
+		{Kind: scenario.Jitter, At: 0, Node: 0, Class: scenario.ClassRDMA, JitterMs: 0.2, Dist: "pareto"},
+	}},
 }
 
 // Scenarios runs the scenario grid: every Table 3 cell under each of the

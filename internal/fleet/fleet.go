@@ -307,8 +307,11 @@ func resolveJob(topo *topology.Topology, idx int, j Job) (rjob, error) {
 }
 
 // validateScenario checks the fleet-supported event kinds: the replay
-// clock understands node failure, restoration, and NIC degradation;
-// background traffic and elastic joins belong to the simulation layer.
+// clock understands node failure, restoration, and NIC degradation, and
+// lowerEvents folds stragglers, cluster failures, link flaps, and
+// loss/corrupt derates down to those primitives. Background traffic and
+// elastic joins belong to the simulation layer, and partitions to the
+// fabric's trunks, which the placement carve does not model.
 func validateScenario(topo *topology.Topology, sc *scenario.Scenario) error {
 	if sc.Empty() {
 		return nil
@@ -321,9 +324,11 @@ func validateScenario(topo *topology.Topology, sc *scenario.Scenario) error {
 	}
 	for i, ev := range sc.Events {
 		switch ev.Kind {
-		case scenario.FailNode, scenario.RestoreNode, scenario.DegradeNIC:
+		case scenario.FailNode, scenario.RestoreNode, scenario.DegradeNIC,
+			scenario.Straggler, scenario.FailCluster, scenario.FlapLink,
+			scenario.Loss, scenario.Corrupt, scenario.Delay, scenario.Jitter:
 		default:
-			return fmt.Errorf("fleet: event %d: kind %q is not supported by the fleet scheduler (use fail_node, restore_node, or degrade_nic)", i, ev.Kind)
+			return fmt.Errorf("fleet: event %d: kind %q is not supported by the fleet scheduler (node, impairment, and cluster fault kinds only)", i, ev.Kind)
 		}
 	}
 	return nil

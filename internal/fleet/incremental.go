@@ -253,7 +253,7 @@ func (s *Scheduler) resume(tr *Trace, rec *recorder) (*Schedule, error) {
 		return nil, err
 	}
 	arr := arrivalOrder(jobs)
-	evs := tr.Scenario.Ordered()
+	evs := lowerEvents(s.topo, tr.Scenario)
 	if cp := rec.popLast(); cp != nil {
 		if st, ok := cp.restore(s, jobs); ok {
 			ai, ei := 0, 0

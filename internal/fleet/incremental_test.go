@@ -126,13 +126,13 @@ func randomMutation(rng *rand.Rand, ids *[]string, nextID *int) mutator {
 			desc:  fmt.Sprintf("cancel %s", victim),
 			apply: func(m *Manager) error { m.Cancel(victim); return nil },
 		}
-	case roll < 0.72:
+	case roll < 0.66:
 		ev := scenario.Event{Kind: scenario.FailNode, At: float64(rng.Intn(60)), Node: rng.Intn(4)}
 		return mutator{
 			desc:  fmt.Sprintf("fail_node node=%d at=%g", ev.Node, ev.At),
 			apply: func(m *Manager) error { return m.ApplyEvent(ev) },
 		}
-	case roll < 0.84:
+	case roll < 0.72:
 		ev := scenario.Event{
 			Kind: scenario.DegradeNIC, At: float64(rng.Intn(60)),
 			Node: rng.Intn(4), Class: scenario.ClassRDMA,
@@ -142,10 +142,45 @@ func randomMutation(rng *rand.Rand, ids *[]string, nextID *int) mutator {
 			desc:  fmt.Sprintf("degrade_nic node=%d at=%g factor=%g", ev.Node, ev.At, ev.Factor),
 			apply: func(m *Manager) error { return m.ApplyEvent(ev) },
 		}
-	case roll < 0.94:
+	case roll < 0.78:
 		ev := scenario.Event{Kind: scenario.RestoreNode, At: float64(rng.Intn(60)), Node: rng.Intn(4)}
 		return mutator{
 			desc:  fmt.Sprintf("restore_node node=%d at=%g", ev.Node, ev.At),
+			apply: func(m *Manager) error { return m.ApplyEvent(ev) },
+		}
+	case roll < 0.83:
+		ev := scenario.Event{
+			Kind: scenario.Straggler, At: float64(rng.Intn(60)),
+			Node: rng.Intn(4), Factor: 0.4 + 0.2*float64(rng.Intn(3)),
+		}
+		return mutator{
+			desc:  fmt.Sprintf("straggler node=%d at=%g factor=%g", ev.Node, ev.At, ev.Factor),
+			apply: func(m *Manager) error { return m.ApplyEvent(ev) },
+		}
+	case roll < 0.88:
+		at := float64(rng.Intn(50))
+		ev := scenario.Event{
+			Kind: scenario.Loss, At: at, Until: at + 5 + float64(rng.Intn(10)),
+			Node: rng.Intn(4), Pct: 10 + 10*float64(rng.Intn(5)),
+		}
+		return mutator{
+			desc:  fmt.Sprintf("loss node=%d at=%g until=%g pct=%g", ev.Node, ev.At, ev.Until, ev.Pct),
+			apply: func(m *Manager) error { return m.ApplyEvent(ev) },
+		}
+	case roll < 0.92:
+		at := float64(rng.Intn(50))
+		ev := scenario.Event{
+			Kind: scenario.FlapLink, At: at, Until: at + 2 + float64(rng.Intn(6)),
+			Node: rng.Intn(4), DownMs: 200, UpMs: 300,
+		}
+		return mutator{
+			desc:  fmt.Sprintf("flap_link node=%d at=%g until=%g", ev.Node, ev.At, ev.Until),
+			apply: func(m *Manager) error { return m.ApplyEvent(ev) },
+		}
+	case roll < 0.96:
+		ev := scenario.Event{Kind: scenario.FailCluster, At: float64(rng.Intn(60)), Cluster: rng.Intn(2)}
+		return mutator{
+			desc:  fmt.Sprintf("fail_cluster cluster=%d at=%g", ev.Cluster, ev.At),
 			apply: func(m *Manager) error { return m.ApplyEvent(ev) },
 		}
 	default:

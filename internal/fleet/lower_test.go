@@ -1,0 +1,137 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+
+	"holmes/internal/engine"
+	"holmes/internal/scenario"
+)
+
+// The lowering pass is the fleet's whole story for the extended scenario
+// vocabulary: every new kind must behave exactly like its hand-written
+// primitive encoding, and the kinds the placement carve cannot express
+// must be rejected up front rather than silently ignored.
+
+func TestLowerEventsFoldsNewKinds(t *testing.T) {
+	topo := hybridTopo(t) // clusters {0,1}, nodes 0-1 and 2-3
+	sc := &scenario.Scenario{Name: "lower", Events: []scenario.Event{
+		{Kind: scenario.Straggler, At: 5, Node: 1, Factor: 0.5},
+		{Kind: scenario.FailCluster, At: 10, Cluster: 1},
+		{Kind: scenario.FlapLink, At: 15, Until: 20, Node: 0, DownMs: 100, UpMs: 100},
+		{Kind: scenario.Loss, At: 25, Until: 30, Node: 2, Pct: 20},
+		{Kind: scenario.Delay, At: 35, Node: 3, DelayMs: 5},
+		{Kind: scenario.Jitter, At: 36, Node: 3, JitterMs: 2, Dist: "uniform"},
+	}}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := lowerEvents(topo, sc)
+	want := []scenario.Event{
+		{Kind: scenario.DegradeNIC, At: 5, Node: 1, Class: scenario.ClassRDMA, Factor: 0.5},
+		{Kind: scenario.DegradeNIC, At: 5, Node: 1, Class: scenario.ClassEther, Factor: 0.5},
+		{Kind: scenario.FailNode, At: 10, Node: 2},
+		{Kind: scenario.FailNode, At: 10, Node: 3},
+		{Kind: scenario.FailNode, At: 15, Node: 0},
+		{Kind: scenario.RestoreNode, At: 20, Node: 0},
+		{Kind: scenario.DegradeNIC, At: 25, Node: 2, Class: scenario.ClassEther, Factor: 0.8},
+		{Kind: scenario.RestoreNode, At: 30, Node: 2},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("lowered %d events, want %d:\n%+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("lowered[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestNewKindsMatchHandLoweredTrace replays the same workload twice —
+// once under the extended vocabulary, once under its hand-written
+// primitive encoding — and requires bit-identical schedules. This pins
+// the semantics of the lowering at the schedule level, not just the
+// event level.
+func TestNewKindsMatchHandLoweredTrace(t *testing.T) {
+	jobs := []Job{
+		{ID: "a", Submit: 0, GPUs: 16, Iterations: 2, Model: pg1()},
+		{ID: "b", Submit: 1, GPUs: 8, Iterations: 2, Model: pg1()},
+		{ID: "c", Submit: 2, GPUs: 8, Iterations: 1, Model: pg1()},
+	}
+	rich := &Trace{
+		Name:  "lowered",
+		Fleet: Spec{Env: "Hybrid", Nodes: 4},
+		Scenario: &scenario.Scenario{Name: "rich", Events: []scenario.Event{
+			{Kind: scenario.Straggler, At: 3, Node: 0, Factor: 0.5},
+			{Kind: scenario.FailCluster, At: 40, Cluster: 1},
+			{Kind: scenario.FlapLink, At: 80, Until: 120, Node: 1, DownMs: 50, UpMs: 50},
+			{Kind: scenario.Loss, At: 130, Until: 200, Node: 1, Pct: 30},
+		}},
+		Jobs: jobs,
+	}
+	plain := &Trace{
+		Name:  "lowered",
+		Fleet: rich.Fleet,
+		Scenario: &scenario.Scenario{Name: "plain", Events: []scenario.Event{
+			{Kind: scenario.DegradeNIC, At: 3, Node: 0, Class: scenario.ClassRDMA, Factor: 0.5},
+			{Kind: scenario.DegradeNIC, At: 3, Node: 0, Class: scenario.ClassEther, Factor: 0.5},
+			{Kind: scenario.FailNode, At: 40, Node: 2},
+			{Kind: scenario.FailNode, At: 40, Node: 3},
+			{Kind: scenario.FailNode, At: 80, Node: 1},
+			{Kind: scenario.RestoreNode, At: 120, Node: 1},
+			{Kind: scenario.DegradeNIC, At: 130, Node: 1, Class: scenario.ClassEther, Factor: 0.7},
+			{Kind: scenario.RestoreNode, At: 200, Node: 1},
+		}},
+		Jobs: jobs,
+	}
+	eng := engine.New(engine.Config{})
+	got, err := Replay(eng, rich)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Replay(eng, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, w := marshalSched(t, got), marshalSched(t, want); g != w {
+		t.Fatalf("extended-vocabulary trace diverged from its primitive encoding:\nrich:  %s\nplain: %s", g, w)
+	}
+	// The scenario must have bitten: node 0 straggles from t=3, so job a
+	// (16 GPUs = both IB nodes in a 4-node hybrid, or a cross split)
+	// cannot finish at the pristine-fabric makespan.
+	pristine, err := Replay(eng, &Trace{Name: "pristine", Fleet: rich.Fleet, Jobs: jobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Makespan <= pristine.Makespan {
+		t.Fatalf("faulted makespan %.6g not worse than pristine %.6g — scenario never bit", got.Makespan, pristine.Makespan)
+	}
+}
+
+// TestFleetRejectsSimulationOnlyKinds: partitions live in the fabric's
+// trunks and background traffic in the flow layer; the placement carve
+// models neither, so the fleet must refuse them loudly.
+func TestFleetRejectsSimulationOnlyKinds(t *testing.T) {
+	topo := hybridTopo(t)
+	eng := engine.New(engine.Config{})
+	m, err := NewManager(eng, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range []scenario.Event{
+		{Kind: scenario.Partition, At: 5, Cluster: 0, Peer: 1},
+		{Kind: scenario.BackgroundTraffic, At: 5, Src: 0, Dst: 1, Gbps: 5},
+	} {
+		err := m.ApplyEvent(ev)
+		if err == nil {
+			t.Fatalf("ApplyEvent(%s) succeeded, want rejection", ev.Kind)
+		}
+		if !strings.Contains(err.Error(), "not supported by the fleet scheduler") {
+			t.Fatalf("ApplyEvent(%s) error %q lacks the kind-rejection message", ev.Kind, err)
+		}
+	}
+	// A rejected event must not leak into the timeline.
+	if _, err := m.Schedule(); err != nil {
+		t.Fatalf("schedule after rejected events: %v", err)
+	}
+}

@@ -134,7 +134,7 @@ func (s *Scheduler) replay(tr *Trace, rec *recorder) (*Schedule, error) {
 		st.results[i] = Placement{JobID: j.job.ID}
 	}
 	arr := arrivalOrder(jobs)
-	evs := tr.Scenario.Ordered()
+	evs := lowerEvents(s.topo, tr.Scenario)
 	ei := st.run(arr, evs, 0, 0, rec)
 	return buildSchedule(tr, jobs, st, ei), nil
 }

@@ -66,12 +66,24 @@ func (f *Fabric) RestoreNode(nodeIdx int, class Class, capOut, capIn float64) er
 	return nil
 }
 
-// FailNode reduces a node's links of a class to a residual trickle (never
-// exactly zero: a zero-capacity link would stall flows forever rather
-// than erroring, and the fluid model has no notion of aborted transfers).
-// The residual keeps flows finishing — extremely slowly — which is how a
-// flapping-but-alive link behaves.
+// FailResidual is the fraction of original capacity a failed link keeps.
+// Never exactly zero: a zero-capacity link would stall flows forever
+// rather than erroring, and the fluid model has no notion of aborted
+// transfers. The residual keeps flows finishing — extremely slowly —
+// which is how a flapping-but-alive link behaves. Exported so scenario
+// folding can predict a failed or flapped link's capacity exactly.
+const FailResidual = 1e-6
+
+// FailNode reduces a node's links of a class to the residual trickle.
 func (f *Fabric) FailNode(nodeIdx int, class Class) (prevOut, prevIn float64, err error) {
-	const residual = 1e-6 // fraction of original capacity
-	return f.DegradeNode(nodeIdx, class, residual)
+	return f.DegradeNode(nodeIdx, class, FailResidual)
+}
+
+// NodeCaps reads the current capacities of a node's links of a class,
+// both directions, without changing them.
+func (f *Fabric) NodeCaps(nodeIdx int, class Class) (out, in float64, err error) {
+	if nodeIdx < 0 || nodeIdx >= len(f.nodeEthOut) {
+		return 0, 0, fmt.Errorf("netsim: node %d out of range", nodeIdx)
+	}
+	return f.linkFor(nodeIdx, class, false).Capacity, f.linkFor(nodeIdx, class, true).Capacity, nil
 }

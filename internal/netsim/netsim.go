@@ -22,6 +22,7 @@ package netsim
 import (
 	"fmt"
 	"math"
+	"math/rand"
 
 	"holmes/internal/sim"
 	"holmes/internal/topology"
@@ -157,6 +158,7 @@ type Flow struct {
 	seen     int // epoch mark: collected into the current region
 	frozen   bool
 	prevRate float64
+	aborted  bool
 }
 
 // Rate returns the flow's current fair-share rate in bytes/s.
@@ -174,6 +176,13 @@ type Fabric struct {
 	nodeIntra               []*Link
 	// Optional inter-cluster trunks, keyed by ordered cluster pair.
 	trunks map[[2]int]*Link
+
+	// Packet-impairment state per (node, class, direction), and the
+	// seeded source jitter draws come from (see impair.go). Empty and
+	// nil until a scenario installs an impairment, so unimpaired runs
+	// never consult either.
+	impair    map[impairKey]Impairment
+	jitterRng *rand.Rand
 
 	links    []*Link // registry of every link, indexed by id
 	inFlight int
@@ -259,24 +268,40 @@ func (f *Fabric) EffectiveClass(src, dst int, want Class) Class {
 	return Ether
 }
 
-// Latency returns the per-message α term for a (src,dst,class) path.
+// Latency returns the per-message α term for a (src,dst,class) path:
+// the technology base latency, plus any scripted added delay on the
+// path's impaired sides, inflated by the path's loss efficiency (each
+// round of a lossy handshake retries with probability 1-efficiency).
+// Deterministic — jitter, a per-flow random draw, is added by StartFlow,
+// never here, so the analytic cost models stay pure.
 func (f *Fabric) Latency(src, dst int, class Class) float64 {
 	class = f.EffectiveClass(src, dst, class)
+	var lat float64
 	switch class {
 	case Intra:
-		return f.Params.IntraLatency
+		lat = f.Params.IntraLatency
 	case RDMA:
 		if f.Topo.NodeOf(src).RDMAType() == topology.InfiniBand {
-			return f.Params.IBLatency
+			lat = f.Params.IBLatency
+		} else {
+			lat = f.Params.RoCELatency
 		}
-		return f.Params.RoCELatency
 	default:
-		lat := f.Params.EthLatency
-		if !f.Topo.SameCluster(src, dst) {
-			lat *= 2 // extra hops through the inter-cluster path
+		lat = f.Params.EthLatency
+		sc, dc := f.Topo.Device(src).Cluster, f.Topo.Device(dst).Cluster
+		if sc != dc && f.HasTrunk(sc, dc) {
+			// Extra hops through the inter-cluster trunk. Conditional on
+			// the same lookup path() uses: a trunkless (non-blocking)
+			// cluster pair traverses no extra link, so it pays no extra
+			// latency either.
+			lat *= 2
 		}
-		return lat
 	}
+	if len(f.impair) > 0 {
+		extra, eff := f.pathImpair(src, dst, class)
+		lat = (lat + extra) / eff
+	}
+	return lat
 }
 
 // path returns the link sequence for a transfer in a fixed-size array to
@@ -326,6 +351,12 @@ func (f *Fabric) StartFlow(src, dst int, bytes float64, class Class, onDone func
 		fl.cap = f.Params.EthPerFlowBytesPerSec
 	}
 	lat := f.Latency(src, dst, class)
+	// Jitter is a per-flow draw on top of the deterministic α; symmetric
+	// distributions can pull the sum below zero, which clamps (a message
+	// cannot arrive before it was sent).
+	if lat += f.sampleJitter(src, dst, fl.Class); lat < 0 {
+		lat = 0
+	}
 	// The flow occupies links only after its latency term elapses; for
 	// zero-byte control messages it completes then.
 	f.eng.After(lat, func() { f.admit(fl) })
@@ -348,10 +379,20 @@ func (f *Fabric) StartFlowRateCapped(src, dst int, bytes float64, class Class, r
 }
 
 func (f *Fabric) admit(fl *Flow) {
+	if fl.aborted {
+		return
+	}
 	fl.started = true
 	if fl.remaining <= 0 {
 		f.finish(fl)
 		return
+	}
+	// Loss/corruption derate goodput multiplicatively: retransmitted
+	// bytes occupy the wire, so delivering Bytes of goodput moves
+	// Bytes/efficiency across the links. Sampled at admission — flows
+	// already on the wire keep the efficiency they started with.
+	if eff := f.pathEff(fl.Src, fl.Dst, fl.Class); eff < 1 {
+		fl.remaining /= eff
 	}
 	fl.path, fl.nPath = f.path(fl.Src, fl.Dst, fl.Class)
 	fl.updatedAt = f.eng.Now()
@@ -634,6 +675,11 @@ func (f *Fabric) TransferTime(src, dst int, bytes float64, class Class) float64 
 	bw := f.PairBandwidth(src, dst, class)
 	if bw <= 0 {
 		return math.Inf(1)
+	}
+	if len(f.impair) > 0 {
+		// Mirror admit's goodput derate: the analytic estimate moves the
+		// same inflated wire bytes the event-driven flow would.
+		bytes /= f.pathEff(src, dst, f.EffectiveClass(src, dst, class))
 	}
 	return t + bytes/bw
 }

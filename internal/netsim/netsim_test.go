@@ -233,8 +233,42 @@ func TestLatencyOrdering(t *testing.T) {
 	roce := fab.Latency(16, 24, RDMA)
 	ethIn := fab.Latency(0, 8, Ether)
 	ethX := fab.Latency(0, 16, Ether)
-	if !(intra <= ib && ib < roce && roce < ethIn && ethIn < ethX) {
+	if !(intra <= ib && ib < roce && roce < ethIn && ethIn <= ethX) {
 		t.Fatalf("latency ordering violated: intra=%v ib=%v roce=%v eth=%v ethX=%v",
 			intra, ib, roce, ethIn, ethX)
+	}
+}
+
+// Cross-cluster Ethernet latency doubles exactly when the path traverses
+// an inter-cluster trunk — the same f.trunks lookup path() makes. The
+// historical code doubled unconditionally, so a trunkless (non-blocking)
+// cluster pair paid for a hop its link path never took.
+func TestCrossClusterLatencyMatchesTrunkPath(t *testing.T) {
+	topo := topology.HybridEnv(4)
+
+	// Trunkless arm: the default params build no inter-cluster trunk, so
+	// the cross-cluster path is out-link + in-link only — same as the
+	// intra-cluster path, and the α term must agree.
+	eng := sim.NewEngine()
+	fab := New(eng, topo, DefaultParams())
+	if fab.HasTrunk(0, 1) {
+		t.Fatal("default params built a trunk")
+	}
+	in, cross := fab.Latency(0, 8, Ether), fab.Latency(0, 16, Ether)
+	if cross != in {
+		t.Fatalf("trunkless cross-cluster latency %v != intra-cluster %v (paths are identical)", cross, in)
+	}
+
+	// Trunked arm: with an inter-cluster cap the path gains a trunk link
+	// and the latency doubles.
+	p := DefaultParams()
+	p.InterClusterGbps = 20
+	fabT := New(sim.NewEngine(), topo, p)
+	if !fabT.HasTrunk(0, 1) {
+		t.Fatal("trunk params built no trunk")
+	}
+	inT, crossT := fabT.Latency(0, 8, Ether), fabT.Latency(0, 16, Ether)
+	if crossT != 2*inT {
+		t.Fatalf("trunked cross-cluster latency %v, want double the intra-cluster %v", crossT, inT)
 	}
 }

@@ -49,14 +49,18 @@ func genProbes(rng *rand.Rand, n, ranks int) []probeFlow {
 }
 
 // genScenario scripts a random timeline overlapping the probe window:
-// degrades, failures, restores, and a bounded background stream.
-func genScenario(rng *rand.Rand, nodes int) *Scenario {
+// degrades, failures, restores, a bounded background stream, and the
+// impairment vocabulary — delays, jitter, loss/corrupt derates, flapping
+// links, stragglers, cluster failures, and (when the fabric has a trunk
+// to cut) partitions.
+func genScenario(rng *rand.Rand, topo *topology.Topology, trunked bool) *Scenario {
+	nodes := topo.NumNodes()
 	var evs []Event
-	nEvents := 1 + rng.Intn(5)
+	nEvents := 1 + rng.Intn(7)
 	for i := 0; i < nEvents; i++ {
 		at := rng.Float64() * 0.02
 		node := rng.Intn(nodes)
-		switch rng.Intn(4) {
+		switch rng.Intn(11) {
 		case 0:
 			class := []Class{ClassRDMA, ClassEther, ClassIntra}[rng.Intn(3)]
 			evs = append(evs, Event{
@@ -66,6 +70,47 @@ func genScenario(rng *rand.Rand, nodes int) *Scenario {
 		case 1:
 			evs = append(evs, Event{Kind: FailNode, At: at, Node: node})
 		case 2:
+			evs = append(evs, Event{Kind: RestoreNode, At: at + 0.01, Node: node})
+		case 3:
+			evs = append(evs, Event{
+				Kind: Delay, At: at, Node: node, DelayMs: 0.1 + 5*rng.Float64(),
+				Direction: []string{"", "out", "in", "both"}[rng.Intn(4)],
+				Until:     at + 0.005 + 0.02*rng.Float64(),
+			})
+		case 4:
+			evs = append(evs, Event{
+				Kind: Jitter, At: at, Node: node, JitterMs: 0.05 + 2*rng.Float64(),
+				Dist: []string{"uniform", "normal", "pareto"}[rng.Intn(3)],
+			})
+		case 5:
+			kind := Loss
+			if rng.Intn(2) == 0 {
+				kind = Corrupt
+			}
+			evs = append(evs, Event{
+				Kind: kind, At: at, Node: node, Pct: 1 + 40*rng.Float64(),
+				Class: []Class{"", ClassRDMA, ClassEther}[rng.Intn(3)],
+				Until: at + 0.005 + 0.02*rng.Float64(),
+			})
+		case 6:
+			evs = append(evs, Event{
+				Kind: FlapLink, At: at, Until: at + 0.005 + 0.02*rng.Float64(),
+				Node: node, DownMs: 1 + 3*rng.Float64(), UpMs: 1 + 3*rng.Float64(),
+			})
+		case 7:
+			evs = append(evs, Event{
+				Kind: Straggler, At: at, Node: node, Factor: 0.1 + 0.9*rng.Float64(),
+			})
+		case 8:
+			evs = append(evs, Event{Kind: FailCluster, At: at, Cluster: rng.Intn(topo.NumClusters())})
+		case 9:
+			if trunked && topo.NumClusters() > 1 {
+				evs = append(evs, Event{
+					Kind: Partition, At: at, Cluster: 0, Peer: 1,
+					Until: at + 0.005 + 0.02*rng.Float64(),
+				})
+				break
+			}
 			evs = append(evs, Event{Kind: RestoreNode, At: at + 0.01, Node: node})
 		default:
 			dst := (node + 1 + rng.Intn(nodes-1)) % nodes
@@ -115,17 +160,17 @@ func TestScenarioDifferentialIncrementalVsOracle(t *testing.T) {
 	for name, topo := range topos {
 		for seed := int64(0); seed < 12; seed++ {
 			rng := rand.New(rand.NewSource(seed * 7919))
-			fs := genProbes(rng, 10+rng.Intn(50), topo.NumDevices())
-			sc := genScenario(rng, topo.NumNodes())
-			if err := sc.Validate(); err != nil {
-				t.Fatalf("%s seed %d: generated invalid scenario: %v", name, seed, err)
-			}
 			p := netsim.DefaultParams()
 			if seed%3 == 1 {
 				p.EthPerFlowBytesPerSec = 1.5e9
 			}
 			if seed%4 == 2 {
 				p.InterClusterGbps = 20
+			}
+			fs := genProbes(rng, 10+rng.Intn(50), topo.NumDevices())
+			sc := genScenario(rng, topo, p.InterClusterGbps > 0)
+			if err := sc.Validate(); err != nil {
+				t.Fatalf("%s seed %d: generated invalid scenario: %v", name, seed, err)
 			}
 			inc := replayUnder(t, topo, p, fs, sc)
 			p.FullRecompute = true

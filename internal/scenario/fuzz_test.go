@@ -22,6 +22,18 @@ func FuzzScenarioDecode(f *testing.F) {
 	f.Add([]byte(`{"events":[{"kind":"degrade_nic","at":-1,"factor":9}]}`)) // invalid: must error
 	f.Add([]byte(`[1,2,3]`))
 	f.Add([]byte(`{"events":[{"kind":"degrade_nic","at":1e308,"factor":1e-9}]}`))
+	// One committed seed per impairment-vocabulary kind.
+	f.Add([]byte(`{"events":[{"kind":"delay","at":1,"node":0,"delay_ms":5,"until":9}]}`))
+	f.Add([]byte(`{"seed":7,"events":[{"kind":"jitter","at":0,"node":1,"jitter_ms":2,"dist":"pareto","direction":"in"}]}`))
+	f.Add([]byte(`{"events":[{"kind":"loss","at":2,"node":0,"pct":12.5,"class":"Ethernet"}]}`))
+	f.Add([]byte(`{"events":[{"kind":"corrupt","at":0,"node":2,"pct":1,"direction":"out","until":4}]}`))
+	f.Add([]byte(`{"events":[{"kind":"flap_link","at":1,"until":3,"node":0,"down_ms":50,"up_ms":150}]}`))
+	f.Add([]byte(`{"events":[{"kind":"partition","at":2,"cluster":0,"peer":1,"until":6}]}`))
+	f.Add([]byte(`{"events":[{"kind":"straggler","at":0,"node":3,"factor":0.5}]}`))
+	f.Add([]byte(`{"events":[{"kind":"fail_cluster","at":5,"cluster":1}]}`))
+	f.Add([]byte(`{"events":[{"kind":"jitter","at":0,"node":0,"jitter_ms":1,"dist":"cauchy"}]}`))        // invalid dist
+	f.Add([]byte(`{"events":[{"kind":"loss","at":0,"node":0,"pct":100}]}`))                              // pct out of range
+	f.Add([]byte(`{"events":[{"kind":"flap_link","at":0,"until":1e6,"node":0,"down_ms":1,"up_ms":1}]}`)) // cycle cap
 
 	topo := topology.HybridEnv(4)
 

@@ -7,83 +7,226 @@ import (
 	"holmes/internal/sim"
 )
 
-// Background-traffic generation constants. A stream is modelled as
-// back-to-back rate-capped chunks rather than one unbounded flow: each
-// chunk completion is a scheduling point, so the stream reacts to
-// congestion and to Until/Stop, while the per-flow cap keeps the offered
-// load at the scripted rate when the path is uncongested.
-const (
-	// bgChunkSeconds is the chunk length of a rate-limited stream, in
-	// seconds of offered traffic.
-	bgChunkSeconds = 0.05
-	// bgGreedyChunkBytes is the chunk size of a greedy (Gbps = 0) stream.
-	bgGreedyChunkBytes = 64 << 20
-)
-
-// Runtime is one scenario bound to a fabric's engine: it owns the
-// scheduled timeline events, the background-traffic generators, and the
-// capacities saved for RestoreNode. Stop cancels everything still
-// pending; the trainer calls it when the iteration completes so an
-// open-ended scenario (background traffic with Until = 0, events
-// scripted past the iteration's end) cannot keep the engine alive.
+// Runtime is one scenario bound to an engine and a backend: it owns the
+// scheduled timeline events and pushes folded target state to the
+// backend at each event instant. Stop cancels everything still pending;
+// the trainer calls it when the iteration completes so an open-ended
+// scenario (background traffic with Until = 0, events scripted past the
+// iteration's end) cannot keep the engine alive.
+//
+// The runtime never mutates the network incrementally. At every event it
+// re-folds the timeline prefix (StateAt / foldImpair) and pushes
+// absolute factors and impairments, so the live network and the planner
+// view StateAt exposes agree by construction — including under event
+// orderings the incremental bookkeeping used to get subtly wrong
+// (double failures, restores crossing flap windows).
 type Runtime struct {
 	eng     *sim.Engine
-	fab     *netsim.Fabric
+	be      Backend
+	sc      *Scenario
 	stopped bool
 	pending []*sim.Event
-	saved   map[capKey]savedCaps
 	applied int
 }
 
-type capKey struct {
-	node  int
-	class netsim.Class
-}
-
-type savedCaps struct{ out, in float64 }
-
-// Bind validates the scenario against the fabric's topology and schedules
-// every event onto the engine at its simulated instant. Events apply in
+// Bind validates the scenario against the fabric's topology and
+// schedules every event onto the engine at its simulated instant,
+// driving the fabric through the default FabricBackend. Events apply in
 // (At, declaration) order; an empty scenario schedules nothing, so the
 // bound run is bit-identical to an unbound one. JoinNodes events are
 // fabric no-ops (a running iteration cannot adopt new nodes); they exist
 // for the replanning path (EffectiveTopology).
 func (s *Scenario) Bind(eng *sim.Engine, fab *netsim.Fabric) (*Runtime, error) {
-	rt := &Runtime{eng: eng, fab: fab, saved: make(map[capKey]savedCaps)}
+	return s.BindBackend(eng, NewFabricBackend(eng, fab))
+}
+
+// BindBackend is Bind against any Backend — the in-process fabric or an
+// external HTTP impairment server.
+func (s *Scenario) BindBackend(eng *sim.Engine, be Backend) (*Runtime, error) {
+	rt := &Runtime{eng: eng, be: be, sc: s}
 	if s.Empty() {
 		return rt, nil
 	}
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	if err := s.ValidateFor(fab.Topo); err != nil {
+	if err := s.ValidateFor(be.Topo()); err != nil {
 		return nil, err
 	}
-	for _, ev := range s.ordered() {
+	ordered := s.ordered()
+	// Partitions need a trunk to cut; fail at bind time, not mid-run.
+	for _, ev := range ordered {
+		if ev.Kind == Partition {
+			if err := be.CheckTrunk(ev.Cluster, ev.Peer); err != nil {
+				return nil, err
+			}
+		}
+	}
+	seed := s.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	be.SeedJitter(seed)
+	for _, ev := range ordered {
 		ev := ev
 		switch ev.Kind {
 		case DegradeNIC:
-			rt.schedule(ev.At, func() { rt.degrade(ev) })
-		case FailNode:
-			rt.schedule(ev.At, func() { rt.fail(ev) })
+			class := mustClass(ev.Class, netsim.RDMA)
+			rt.schedule(ev.At, func() { rt.pushNode(ev.Node, class) })
+		case Straggler, FailNode:
+			rt.schedule(ev.At, func() { rt.pushNode(ev.Node, netsim.RDMA, netsim.Ether) })
 		case RestoreNode:
-			rt.schedule(ev.At, func() { rt.restore(ev) })
+			rt.schedule(ev.At, func() { rt.pushNode(ev.Node, netsim.Intra, netsim.RDMA, netsim.Ether) })
 		case BackgroundTraffic:
-			rt.schedule(ev.At, func() { rt.stream(ev) })
+			rt.schedule(ev.At, func() { rt.be.Stream(ev, rt) })
 		case JoinNodes:
 			// No fabric effect; counted as applied for observability.
 			rt.schedule(ev.At, func() {})
+		case Delay, Jitter, Loss, Corrupt:
+			class := mustClass(ev.Class, netsim.Ether)
+			out, in, _ := ev.dirs()
+			push := func() { rt.pushImpair(ev.Node, class, out, in) }
+			rt.schedule(ev.At, push)
+			if ev.Until > 0 {
+				rt.scheduleInternal(ev.Until, push)
+			}
+		case FlapLink:
+			rt.scheduleFlap(ev)
+		case Partition:
+			push := func() { rt.pushTrunk(ev.Cluster, ev.Peer) }
+			rt.schedule(ev.At, push)
+			if ev.Until > 0 {
+				rt.scheduleInternal(ev.Until, push)
+			}
+		case FailCluster:
+			rt.schedule(ev.At, func() { rt.pushCluster(ev.Cluster) })
 		}
 	}
 	return rt, nil
 }
 
+// mustClass resolves a validated class name; Validate already rejected
+// anything unknown.
+func mustClass(c Class, def netsim.Class) netsim.Class {
+	class, err := c.netClass(def)
+	if err != nil {
+		panic(fmt.Sprintf("scenario: %v", err))
+	}
+	return class
+}
+
+// scheduleFlap lays out one flap_link event's edges. The edge instants
+// use the exact float arithmetic flapDown folds with (At + k*cycle), so
+// a StateAt query at an edge instant agrees with the fabric. Only the
+// first down-edge counts as the scripted event firing; the rest of the
+// duty cycle is internal bookkeeping.
+func (rt *Runtime) scheduleFlap(ev Event) {
+	class := mustClass(ev.Class, netsim.RDMA)
+	push := func() { rt.pushNode(ev.Node, class) }
+	cycle := (ev.DownMs + ev.UpMs) / 1e3
+	for k := 0.0; ; k++ {
+		down := ev.At + k*cycle
+		if down >= ev.Until {
+			break
+		}
+		if k == 0 {
+			rt.schedule(down, push)
+		} else {
+			rt.scheduleInternal(down, push)
+		}
+		up := down + ev.DownMs/1e3
+		if up > ev.Until {
+			up = ev.Until
+		}
+		rt.scheduleInternal(up, push)
+	}
+}
+
+// pushNode folds the timeline at the current instant and pushes the
+// node's absolute capacity factors for the given classes.
+func (rt *Runtime) pushNode(node int, classes ...netsim.Class) {
+	st := rt.sc.StateAt(rt.eng.Now())
+	ns, ok := st.Nodes[node]
+	if !ok {
+		ns = pristineNode()
+	}
+	down := ns.Failed || st.FailedClusters[rt.be.Topo().Node(node).Cluster]
+	for _, class := range classes {
+		f := ns.Factor(class)
+		if down && class != netsim.Intra {
+			// Failure collapses the network-facing links to the residual
+			// trickle on top of any degradation; the intra-node
+			// interconnect is untouched (FailNode semantics).
+			f *= netsim.FailResidual
+		}
+		if err := rt.be.SetNodeFactor(node, class, f); err != nil {
+			// Validate/ValidateFor admit only in-range events, so this
+			// is a programming error, not an input error.
+			panic(fmt.Sprintf("scenario: apply node factor: %v", err))
+		}
+	}
+}
+
+// pushImpair folds the impairment events at the current instant and
+// pushes the node's absolute impairment for the touched directions (the
+// zero value clears an expired one).
+func (rt *Runtime) pushImpair(node int, class netsim.Class, out, in bool) {
+	m := rt.sc.foldImpair(rt.eng.Now())
+	for _, inbound := range []bool{false, true} {
+		if (inbound && !in) || (!inbound && !out) {
+			continue
+		}
+		imp := m[impairTarget{node: node, class: class, inbound: inbound}]
+		if err := rt.be.ApplyImpairment(node, class, inbound, imp); err != nil {
+			panic(fmt.Sprintf("scenario: apply impairment: %v", err))
+		}
+	}
+}
+
+// pushTrunk folds the partition state at the current instant and pushes
+// the trunk's absolute factor.
+func (rt *Runtime) pushTrunk(c1, c2 int) {
+	st := rt.sc.StateAt(rt.eng.Now())
+	f := 1.0
+	if st.Partitioned(c1, c2) {
+		f = netsim.FailResidual
+	}
+	if err := rt.be.SetTrunkFactor(c1, c2, f); err != nil {
+		panic(fmt.Sprintf("scenario: partition: %v", err))
+	}
+}
+
+// pushCluster fails every node of a cluster — the fail_cluster blast
+// radius.
+func (rt *Runtime) pushCluster(cluster int) {
+	for _, n := range rt.be.Topo().Clusters[cluster].Nodes {
+		rt.pushNode(n.Index, netsim.RDMA, netsim.Ether)
+	}
+}
+
+// schedule registers a scripted event firing: it counts toward Applied.
 func (rt *Runtime) schedule(at float64, fn func()) {
 	rt.pending = append(rt.pending, rt.eng.At(at, func() {
 		rt.applied++
 		fn()
 	}))
 }
+
+// scheduleInternal registers runtime bookkeeping (impairment expiries,
+// flap edges, stream deadlines) that should not count as a scripted
+// event.
+func (rt *Runtime) scheduleInternal(at float64, fn func()) {
+	rt.pending = append(rt.pending, rt.eng.At(at, fn))
+}
+
+// Now implements StreamCtl.
+func (rt *Runtime) Now() float64 { return rt.eng.Now() }
+
+// Schedule implements StreamCtl.
+func (rt *Runtime) Schedule(at float64, fn func()) { rt.scheduleInternal(at, fn) }
+
+// Live implements StreamCtl.
+func (rt *Runtime) Live() bool { return !rt.stopped }
 
 // Applied reports how many timeline events have fired so far.
 func (rt *Runtime) Applied() int {
@@ -105,88 +248,4 @@ func (rt *Runtime) Stop() {
 		ev.Cancel()
 	}
 	rt.pending = nil
-}
-
-// saveOnce records a node link-pair's pre-event capacities the first time
-// a degrade or failure touches it, so RestoreNode returns to the original
-// state no matter how many events compounded in between.
-func (rt *Runtime) saveOnce(node int, class netsim.Class, out, in float64) {
-	key := capKey{node: node, class: class}
-	if _, ok := rt.saved[key]; !ok {
-		rt.saved[key] = savedCaps{out: out, in: in}
-	}
-}
-
-func (rt *Runtime) degrade(ev Event) {
-	class, err := ev.Class.netClass(netsim.RDMA)
-	if err == nil {
-		var out, in float64
-		out, in, err = rt.fab.DegradeNode(ev.Node, class, ev.Factor)
-		if err == nil {
-			rt.saveOnce(ev.Node, class, out, in)
-		}
-	}
-	if err != nil {
-		// Validate/ValidateFor admit only in-range events, so this is a
-		// programming error, not an input error.
-		panic(fmt.Sprintf("scenario: degrade_nic: %v", err))
-	}
-}
-
-// fail collapses the node's RDMA and Ethernet links; the intra-node
-// interconnect is untouched (the fluid model has no notion of killed
-// compute — FailNode means "dropped off the network", and the replanning
-// path is where the node disappears entirely).
-func (rt *Runtime) fail(ev Event) {
-	for _, class := range []netsim.Class{netsim.RDMA, netsim.Ether} {
-		out, in, err := rt.fab.FailNode(ev.Node, class)
-		if err != nil {
-			panic(fmt.Sprintf("scenario: fail_node: %v", err))
-		}
-		rt.saveOnce(ev.Node, class, out, in)
-	}
-}
-
-// restore returns every link class the scenario has touched on the node
-// to its original capacity. Restoring an untouched node is a no-op.
-func (rt *Runtime) restore(ev Event) {
-	for _, class := range []netsim.Class{netsim.Intra, netsim.RDMA, netsim.Ether} {
-		key := capKey{node: ev.Node, class: class}
-		sc, ok := rt.saved[key]
-		if !ok {
-			continue
-		}
-		if err := rt.fab.RestoreNode(ev.Node, class, sc.out, sc.in); err != nil {
-			panic(fmt.Sprintf("scenario: restore_node: %v", err))
-		}
-		delete(rt.saved, key)
-	}
-}
-
-// stream generates one background-traffic event's chunks: back-to-back
-// flows between the first device of each endpoint node, each chunk capped
-// at the scripted rate, until Until (or Stop) ends the stream.
-func (rt *Runtime) stream(ev Event) {
-	class, err := ev.Class.netClass(netsim.Ether)
-	if err != nil {
-		panic(fmt.Sprintf("scenario: background_traffic: %v", err))
-	}
-	g := rt.fab.Topo.GPUsPerNode
-	src, dst := ev.Src*g, ev.Dst*g
-	rate := ev.Gbps / 8 * 1e9 // bytes/s; 0 = greedy
-	chunk := float64(bgGreedyChunkBytes)
-	if rate > 0 {
-		chunk = rate * bgChunkSeconds
-	}
-	var next func()
-	next = func() {
-		if rt.stopped {
-			return
-		}
-		if ev.Until > 0 && rt.eng.Now() >= ev.Until {
-			return
-		}
-		rt.fab.StartFlowRateCapped(src, dst, chunk, class, rate, next)
-	}
-	next()
 }

@@ -1,6 +1,8 @@
 // Package scenario scripts cluster events over simulated time: NIC
 // degradation, node failure and recovery, background traffic stealing
-// bandwidth, and nodes joining a cluster.
+// bandwidth, nodes joining a cluster, and tc/netem-style packet
+// impairments — delay, jitter, loss, corruption, link flapping,
+// inter-cluster partitions, stragglers, and whole-cluster failures.
 //
 // The paper assumes stable links and always-on devices (§1, Limitations),
 // but its motivating environments — aging, heterogeneous clusters — are
@@ -55,6 +57,42 @@ const (
 	// resize mid-iteration); the event exists for the replanning path,
 	// where the effective topology grows.
 	JoinNodes Kind = "join_nodes"
+
+	// Delay adds DelayMs of latency to node Node's Class links in the
+	// scripted Direction(s) from At until Until (0 = rest of the run).
+	Delay Kind = "delay"
+	// Jitter adds a random extra latency per flow, drawn from Dist
+	// (uniform/normal/pareto) scaled by JitterMs, between At and Until.
+	// Draws come from the scenario-owned seeded PRNG (Scenario.Seed), so
+	// replays of the same timeline are bit-identical.
+	Jitter Kind = "jitter"
+	// Loss drops Pct% of packets on node Node's Class links: retransmits
+	// consume wire capacity without delivering goodput, so the link's
+	// efficiency is multiplied by 1-Pct/100 between At and Until.
+	Loss Kind = "loss"
+	// Corrupt mangles Pct% of packets. In a fluid model a corrupted
+	// packet and a lost packet cost the same — one retransmit — so
+	// corrupt folds into the efficiency term exactly like Loss and
+	// exists as its own kind only for scenario readability.
+	Corrupt Kind = "corrupt"
+	// FlapLink cycles node Node's Class links down (DownMs at residual
+	// capacity) and up (UpMs restored), starting at At and ending at
+	// Until (required: an unbounded flap would keep the engine alive
+	// forever).
+	FlapLink Kind = "flap_link"
+	// Partition cuts the inter-cluster trunk between Cluster and Peer to
+	// the residual trickle from At until Until (0 = rest of the run).
+	// Binding a partition to a fabric without a trunk between the pair
+	// is an error: there is no link to cut.
+	Partition Kind = "partition"
+	// Straggler persistently derates node Node's RDMA and Ethernet links
+	// by Factor — the aging-NIC slow node of the paper's motivating
+	// clusters. Cleared by RestoreNode.
+	Straggler Kind = "straggler"
+	// FailCluster fails every node of Cluster at At — the correlated
+	// whole-switch blast radius. Permanent for the timeline: RestoreNode
+	// does not resurrect a failed cluster.
+	FailCluster Kind = "fail_cluster"
 )
 
 // Class names a NIC class in event JSON.
@@ -110,9 +148,26 @@ type Event struct {
 	Gbps  float64 `json:"gbps,omitempty"` // 0 = greedy (uncapped)
 	Until float64 `json:"until,omitempty"`
 
-	// Cluster/Count shape join_nodes.
+	// Cluster/Count shape join_nodes; Cluster also names fail_cluster's
+	// target and partition's first side.
 	Cluster int `json:"cluster,omitempty"`
 	Count   int `json:"count,omitempty"`
+
+	// DelayMs/JitterMs/Dist/Pct/Direction shape the packet impairments
+	// (delay, jitter, loss, corrupt); Until bounds them like background
+	// traffic (0 = rest of the run).
+	DelayMs   float64 `json:"delay_ms,omitempty"`
+	JitterMs  float64 `json:"jitter_ms,omitempty"`
+	Dist      string  `json:"dist,omitempty"` // uniform (default), normal, pareto
+	Pct       float64 `json:"pct,omitempty"`
+	Direction string  `json:"direction,omitempty"` // both (default), out, in
+
+	// DownMs/UpMs shape flap_link's duty cycle.
+	DownMs float64 `json:"down_ms,omitempty"`
+	UpMs   float64 `json:"up_ms,omitempty"`
+
+	// Peer is partition's second cluster.
+	Peer int `json:"peer,omitempty"`
 }
 
 // Scenario is a named timeline of events. The zero value is the empty
@@ -120,6 +175,11 @@ type Event struct {
 type Scenario struct {
 	Name   string  `json:"name,omitempty"`
 	Events []Event `json:"events,omitempty"`
+	// Seed feeds the jitter PRNG so replays of the same timeline are
+	// bit-identical; 0 selects the fixed default seed. The PRNG is drawn
+	// only when jitter is actually installed, so scenarios without
+	// jitter events stay bit-identical across seeds.
+	Seed int64 `json:"seed,omitempty"`
 }
 
 // Empty reports whether the scenario schedules nothing.
@@ -138,6 +198,37 @@ func (s *Scenario) String() string {
 
 // badTime reports whether t is unusable as a simulated instant.
 func badTime(t float64) bool { return t < 0 || math.IsNaN(t) || math.IsInf(t, 0) }
+
+// badDur reports whether d is unusable as a strictly positive duration.
+func badDur(d float64) bool { return d <= 0 || math.IsNaN(d) || math.IsInf(d, 0) }
+
+// maxFlapCycles bounds how many down/up edges one flap_link event may
+// schedule, so a pathological timeline (microsecond cycles over hours)
+// cannot balloon the event queue at Bind time.
+const maxFlapCycles = 10000
+
+// dirs resolves the Direction field of an impairment event. The empty
+// string and "both" select both sides.
+func (ev Event) dirs() (out, in bool, err error) {
+	switch ev.Direction {
+	case "", "both":
+		return true, true, nil
+	case "out", "egress":
+		return true, false, nil
+	case "in", "ingress":
+		return false, true, nil
+	}
+	return false, false, fmt.Errorf("%s: unknown direction %q", ev.Kind, ev.Direction)
+}
+
+// validUntil checks the shared optional-deadline rule: 0 means "rest of
+// the run", anything else must be a good time after At.
+func (ev Event) validUntil() error {
+	if ev.Until != 0 && (badTime(ev.Until) || ev.Until <= ev.At) {
+		return fmt.Errorf("%s: until %v not after start %v", ev.Kind, ev.Until, ev.At)
+	}
+	return nil
+}
 
 // Validate checks the structural invariants every consumer relies on:
 // known kinds, finite non-negative times, factors in (0, 1], coherent
@@ -195,6 +286,73 @@ func (ev Event) validate() error {
 		}
 		if ev.Count < 1 {
 			return fmt.Errorf("join_nodes: count %d < 1", ev.Count)
+		}
+	case Delay, Jitter, Loss, Corrupt:
+		if ev.Node < 0 {
+			return fmt.Errorf("%s: negative node %d", ev.Kind, ev.Node)
+		}
+		if _, err := ev.Class.netClass(netsim.Ether); err != nil {
+			return err
+		}
+		if _, _, err := ev.dirs(); err != nil {
+			return err
+		}
+		if err := ev.validUntil(); err != nil {
+			return err
+		}
+		switch ev.Kind {
+		case Delay:
+			if badDur(ev.DelayMs) {
+				return fmt.Errorf("delay: bad delay_ms %v", ev.DelayMs)
+			}
+		case Jitter:
+			if badDur(ev.JitterMs) {
+				return fmt.Errorf("jitter: bad jitter_ms %v", ev.JitterMs)
+			}
+			if !netsim.KnownDist(netsim.Dist(ev.Dist)) {
+				return fmt.Errorf("jitter: unknown distribution %q", ev.Dist)
+			}
+		default: // Loss, Corrupt
+			if !(ev.Pct > 0 && ev.Pct < 100) || math.IsNaN(ev.Pct) {
+				return fmt.Errorf("%s: pct %v outside (0,100)", ev.Kind, ev.Pct)
+			}
+		}
+	case FlapLink:
+		if ev.Node < 0 {
+			return fmt.Errorf("flap_link: negative node %d", ev.Node)
+		}
+		if _, err := ev.Class.netClass(netsim.RDMA); err != nil {
+			return err
+		}
+		if badDur(ev.DownMs) || badDur(ev.UpMs) {
+			return fmt.Errorf("flap_link: bad duty cycle down=%vms up=%vms", ev.DownMs, ev.UpMs)
+		}
+		if badTime(ev.Until) || ev.Until <= ev.At {
+			return fmt.Errorf("flap_link: until %v not after start %v (unbounded flapping never lets the run end)", ev.Until, ev.At)
+		}
+		if cycle := (ev.DownMs + ev.UpMs) / 1e3; (ev.Until-ev.At)/cycle > maxFlapCycles {
+			return fmt.Errorf("flap_link: %v cycles exceed the %d-cycle cap", (ev.Until-ev.At)/cycle, maxFlapCycles)
+		}
+	case Partition:
+		if ev.Cluster < 0 || ev.Peer < 0 {
+			return fmt.Errorf("partition: negative cluster index")
+		}
+		if ev.Cluster == ev.Peer {
+			return fmt.Errorf("partition: cluster %d cannot partition from itself", ev.Cluster)
+		}
+		if err := ev.validUntil(); err != nil {
+			return err
+		}
+	case Straggler:
+		if ev.Node < 0 {
+			return fmt.Errorf("straggler: negative node %d", ev.Node)
+		}
+		if !(ev.Factor > 0 && ev.Factor <= 1) {
+			return fmt.Errorf("straggler: factor %v outside (0,1]", ev.Factor)
+		}
+	case FailCluster:
+		if ev.Cluster < 0 {
+			return fmt.Errorf("fail_cluster: negative cluster %d", ev.Cluster)
 		}
 	default:
 		return fmt.Errorf("unknown kind %q", string(ev.Kind))
