@@ -9,6 +9,7 @@
 //
 //	holmes-fleet -trace internal/fleet/testdata/fleet12.json
 //	holmes-fleet -trace trace.json -shards 4 -json -out schedule.json
+//	holmes-fleet -trace trace.json -policy priority   # or edf, fair, fifo
 //
 // A trace file names the fleet (env/nodes shorthand or explicit
 // clusters), an optional scenario (fail_node / restore_node /
@@ -23,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"holmes/internal/fleet"
 	"holmes/internal/serve"
@@ -35,6 +37,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "per-shard worker-pool bound (0 = CPU count)")
 		asJSON    = flag.Bool("json", false, "emit the schedule as JSON instead of a table")
 		outPath   = flag.String("out", "", "also write the schedule JSON to this file")
+		policy    = flag.String("policy", "", "override the trace's scheduling policy: "+strings.Join(fleet.PolicyNames(), ", ")+" (default: the trace's, else "+fleet.DefaultPolicy+")")
 	)
 	flag.Parse()
 	if *tracePath == "" {
@@ -45,6 +48,9 @@ func main() {
 	tr, err := fleet.LoadFile(*tracePath)
 	if err != nil {
 		fatal(err)
+	}
+	if *policy != "" {
+		tr.Policy = *policy
 	}
 	if err := tr.Validate(); err != nil {
 		fatal(err)
@@ -79,7 +85,11 @@ func main() {
 }
 
 func render(sched *fleet.Schedule) {
-	fmt.Printf("fleet: %d node(s), %d GPU(s)  trace %q\n", sched.Nodes, sched.GPUs, sched.Trace)
+	pol := sched.Policy
+	if pol == "" {
+		pol = fleet.DefaultPolicy
+	}
+	fmt.Printf("fleet: %d node(s), %d GPU(s)  trace %q  policy %s\n", sched.Nodes, sched.GPUs, sched.Trace, pol)
 	rows := append([]fleet.Placement(nil), sched.Jobs...)
 	sort.SliceStable(rows, func(a, b int) bool { return rows[a].Start < rows[b].Start })
 	fmt.Printf("%-8s %-14s %8s %9s %9s %7s %9s  %s\n",

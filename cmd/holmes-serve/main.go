@@ -13,11 +13,20 @@
 // answers the same corpus hot. The same file is loaded at startup and
 // rewritten every -snapshot-interval.
 //
+// With -operator, /v1/jobs becomes an always-on durable fleet layer:
+// each fleet is a wall-clock-driven operator behind an fsync'd journal
+// in -journal-dir (submits stamped with real time, finished work
+// retired automatically, -fleet-policy / per-request "policy" selecting
+// the scheduling policy), and a restarted daemon recovers every fleet
+// from its journal and resumes scheduling bit-identically to a process
+// that never died.
+//
 // Usage:
 //
 //	holmes-serve -addr :8080
 //	holmes-serve -addr :8080 -shards 4 -workers 4 -cache 1024 -max-inflight 64 -max-queue 512
 //	holmes-serve -addr :8080 -cache-snapshot /var/lib/holmes/cache.json -snapshot-interval 5m
+//	holmes-serve -addr :8080 -operator -journal-dir /var/lib/holmes/fleet -fleet-policy priority
 //	holmes-serve -addr :8080 -pprof   # mounts /debug/pprof/
 //
 //	curl -s localhost:8080/healthz
@@ -44,10 +53,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"holmes/internal/api"
+	"holmes/internal/fleet"
 	"holmes/internal/serve"
 )
 
@@ -105,8 +116,19 @@ func main() {
 		interval = flag.Duration("snapshot-interval", 0, "also rewrite -cache-snapshot periodically (0 = only on shutdown)")
 		drain    = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (admission-exempt)")
+		operator = flag.Bool("operator", false, "run /v1/jobs as an always-on durable fleet operator: wall-clock submits, auto-retirement, journaled crash recovery (requires -journal-dir)")
+		jdir     = flag.String("journal-dir", "", "directory for per-fleet journals and snapshots (operator mode); existing journals are recovered at boot")
+		policy   = flag.String("fleet-policy", "", "default scheduling policy for freshly created fleets: "+strings.Join(fleet.PolicyNames(), ", ")+" (default "+fleet.DefaultPolicy+")")
 	)
 	flag.Parse()
+	if *policy != "" {
+		if _, err := fleet.PolicyByName(*policy); err != nil {
+			log.Fatalf("holmes-serve: %v", err)
+		}
+	}
+	if *operator && *jdir == "" {
+		log.Fatal("holmes-serve: -operator requires -journal-dir")
+	}
 
 	pool := serve.New(serve.Config{
 		Shards:           *shards,
@@ -120,6 +142,14 @@ func main() {
 	})
 	apiSrv := api.NewServerPool(pool)
 	apiSrv.EnablePprof(*pprofOn)
+	if *operator {
+		recovered, err := apiSrv.EnableOperator(api.OperatorMode{JournalDir: *jdir, Policy: *policy})
+		if err != nil {
+			log.Fatalf("holmes-serve: operator mode: %v", err)
+		}
+		log.Printf("holmes-serve: operator mode on %s (%d fleet(s) recovered, default policy %s)",
+			*jdir, recovered, firstNonEmpty(*policy, fleet.DefaultPolicy))
+	}
 	if *snapshot != "" {
 		loadSnapshot(apiSrv, *snapshot)
 	}
@@ -171,5 +201,19 @@ func main() {
 	if *snapshot != "" {
 		writeSnapshot(apiSrv, *snapshot)
 	}
+	if *operator {
+		// Retire what is retirable, cut final snapshots, close the
+		// journals. A crash skips this — that is what recovery replays.
+		if err := apiSrv.CloseOperators(); err != nil {
+			log.Printf("holmes-serve: operator shutdown: %v", err)
+		}
+	}
 	log.Printf("holmes-serve: shutdown complete")
+}
+
+func firstNonEmpty(a, b string) string {
+	if a != "" {
+		return a
+	}
+	return b
 }

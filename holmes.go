@@ -135,6 +135,20 @@ type (
 	// submit, poll, and cancel jobs; every observer reads the
 	// deterministic schedule of the live job set.
 	FleetManager = fleet.Manager
+	// FleetOperator is the always-on face of one fleet: a FleetManager
+	// driven by a wall clock and backed by an fsync'd mutation journal,
+	// so a restarted process recovers its fleet and resumes scheduling
+	// bit-identically to a process that never died.
+	FleetOperator = fleet.Operator
+	// FleetOperatorConfig configures NewFleetOperator (journal path,
+	// clock, policy, snapshot cadence).
+	FleetOperatorConfig = fleet.OperatorConfig
+	// FleetClock abstracts wall time for the operator: the real
+	// monotonic clock in production, fleet.NewFakeClock in tests.
+	FleetClock = fleet.Clock
+	// FleetJobStatus is one job's operator-eye view: placement plus
+	// wall-clock state (queued / running / done / unplaced).
+	FleetJobStatus = fleet.JobStatus
 )
 
 // NIC technologies.
@@ -318,6 +332,19 @@ func LoadFleetTrace(path string) (*FleetTrace, error) {
 func NewFleetManager(eng *Engine, topo *Topology) (*FleetManager, error) {
 	return fleet.NewManager(eng, topo)
 }
+
+// NewFleetOperator opens (or recovers) the durable always-on fleet at
+// cfg.Journal: submits are stamped with wall time, finished work is
+// retired at idle barriers, and every mutation is journaled so a
+// restart resumes the fleet bit-identically (nil engine = the shared
+// default).
+func NewFleetOperator(eng *Engine, spec FleetSpec, cfg FleetOperatorConfig) (*FleetOperator, error) {
+	return fleet.NewOperator(eng, spec, cfg)
+}
+
+// FleetPolicies lists the scheduling policies a fleet can run under
+// (fifo, priority, edf, fair).
+func FleetPolicies() []string { return fleet.PolicyNames() }
 
 // RunExperiment regenerates a paper table or figure by id: "table1",
 // "table3", "table4", "fig4", "fig5", "fig6", "fig7", plus the

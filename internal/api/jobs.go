@@ -28,22 +28,34 @@ const maxFleets = 16
 
 // fleetRegistry maps fleet topologies (by fingerprint) to their
 // managers, and live job IDs to their owning fleet. Job IDs are global:
-// the ID is the only handle GET and DELETE take.
+// the ID is the only handle GET and DELETE take. In operator mode
+// (mode != nil) fleets are durable fleet.Operators instead, and job IDs
+// resolve by scanning the ≤ maxFleets operators — retired jobs stay
+// resolvable that way, which an in-memory owner map could not offer
+// across a restart.
 type fleetRegistry struct {
 	mu     sync.Mutex
 	fleets map[string]*fleet.Manager // fingerprint -> manager
 	owner  map[string]string         // job id -> fingerprint
+	ops    map[string]*fleet.Operator
+	mode   *OperatorMode
 }
 
 func (fr *fleetRegistry) init() {
 	fr.fleets = make(map[string]*fleet.Manager)
 	fr.owner = make(map[string]string)
+	fr.ops = make(map[string]*fleet.Operator)
 }
 
 // JobRequest is the envelope of POST /v1/jobs.
 type JobRequest struct {
 	Fleet fleet.Spec `json:"fleet"`
 	Job   fleet.Job  `json:"job"`
+	// Policy optionally names the fleet's scheduling policy (fifo,
+	// priority, edf, fair). It applies when the submit creates the
+	// fleet; on an existing fleet a differing policy is a 409 — one
+	// fleet schedules under one policy at a time.
+	Policy string `json:"policy,omitempty"`
 }
 
 // JobResponse is the outcome of POST /v1/jobs and GET /v1/jobs/{id}:
@@ -54,6 +66,13 @@ type JobResponse struct {
 	// Jobs counts the fleet's live jobs.
 	Jobs      int             `json:"jobs"`
 	Placement fleet.Placement `json:"placement"`
+	// State (operator mode) is the job's wall-clock state: queued,
+	// running, done, or unplaced.
+	State string `json:"state,omitempty"`
+	// Now (operator mode) is the fleet's wall-clock instant.
+	Now float64 `json:"now,omitempty"`
+	// Policy names the fleet's scheduling policy (operator mode).
+	Policy string `json:"policy,omitempty"`
 	// Makespan / Utilization summarize the fleet's whole schedule.
 	Makespan    float64 `json:"makespan"`
 	Utilization float64 `json:"utilization"`
@@ -71,6 +90,11 @@ type FleetSchedule struct {
 	Fleet    string          `json:"fleet"`
 	Jobs     int             `json:"jobs"`
 	Schedule *fleet.Schedule `json:"schedule"`
+	// Policy / Now / Done describe the fleet in operator mode: its
+	// scheduling policy, wall-clock instant, and retired-job count.
+	Policy string  `json:"policy,omitempty"`
+	Now    float64 `json:"now,omitempty"`
+	Done   int     `json:"done,omitempty"`
 }
 
 // FleetsResponse is the outcome of GET /v1/jobs.
@@ -101,6 +125,16 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fp := topo.Fingerprint()
+	if req.Policy != "" {
+		if _, err := fleet.PolicyByName(req.Policy); err != nil {
+			writeError(w, http.StatusBadRequest, "jobs: %v", err)
+			return
+		}
+	}
+	if s.OperatorEnabled() {
+		s.submitOperator(w, req, fp)
+		return
+	}
 
 	fr := &s.fleets
 	fr.mu.Lock()
@@ -119,7 +153,17 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "jobs: %v", err)
 			return
 		}
+		if err := mgr.SetPolicy(req.Policy); err != nil {
+			fr.mu.Unlock()
+			writeError(w, http.StatusBadRequest, "jobs: %v", err)
+			return
+		}
 		fr.fleets[fp] = mgr
+	} else if req.Policy != "" && req.Policy != mgr.Policy() {
+		fr.mu.Unlock()
+		writeError(w, http.StatusConflict,
+			"jobs: fleet %s schedules under policy %q; a submit cannot switch it to %q", fp, mgr.Policy(), req.Policy)
+		return
 	}
 	if _, taken := fr.owner[req.Job.ID]; taken {
 		fr.mu.Unlock()
@@ -182,6 +226,10 @@ func (s *Server) writeJobPlacement(w http.ResponseWriter, mgr *fleet.Manager, fp
 // handleJobGet answers one job's current placement.
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if s.OperatorEnabled() {
+		s.getOperatorJob(w, id)
+		return
+	}
 	mgr, fp, ok := s.managerOf(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, "jobs: no such job %q", id)
@@ -193,6 +241,10 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 // handleJobCancel removes one job from its fleet.
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if s.OperatorEnabled() {
+		s.cancelOperatorJob(w, id)
+		return
+	}
 	fr := &s.fleets
 	fr.mu.Lock()
 	fp, ok := fr.owner[id]
@@ -225,6 +277,10 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 // handleJobsList answers every fleet's schedule, fleets ordered by
 // fingerprint so concurrent observers read stable output.
 func (s *Server) handleJobsList(w http.ResponseWriter, r *http.Request) {
+	if s.OperatorEnabled() {
+		s.listOperatorFleets(w)
+		return
+	}
 	fr := &s.fleets
 	fr.mu.Lock()
 	fps := make([]string, 0, len(fr.fleets))

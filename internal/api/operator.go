@@ -1,0 +1,338 @@
+package api
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"holmes/internal/fleet"
+)
+
+// Operator mode turns /v1/jobs from an in-memory scheduler into the
+// always-on durable fleet layer: each fleet is a fleet.Operator — a
+// wall-clock-driven manager behind an fsync'd journal — so submits are
+// stamped with real time, completed work retires on its own, and a
+// restarted daemon recovers every fleet from -journal-dir and resumes
+// scheduling bit-identically to a process that never died.
+
+// OperatorMode configures the durable fleet layer of a Server.
+type OperatorMode struct {
+	// JournalDir holds one journal (+ snapshot) per fleet, named by the
+	// hash of the fleet's topology fingerprint. Required.
+	JournalDir string
+	// Policy is the scheduling policy for freshly created fleets
+	// ("" = fleet.DefaultPolicy). Recovered fleets keep their own.
+	Policy string
+	// Clock drives every operator (nil = one shared real clock). Tests
+	// inject a fleet.FakeClock.
+	Clock fleet.Clock
+	// SnapshotEvery bounds journal growth per fleet (0 = the operator
+	// default).
+	SnapshotEvery int
+}
+
+// journalName is the per-fleet journal filename: a fixed prefix plus
+// the FNV-64a hash of the topology fingerprint (fingerprints themselves
+// contain separators unfit for filenames).
+func journalName(fp string) string {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(fp))
+	return fmt.Sprintf("fleet-%016x.journal", h.Sum64())
+}
+
+// EnableOperator switches the jobs surface to operator mode and
+// recovers every fleet already journaled under mode.JournalDir.
+// It must be called before the server takes traffic. Returns the
+// number of fleets recovered.
+func (s *Server) EnableOperator(mode OperatorMode) (int, error) {
+	if mode.JournalDir == "" {
+		return 0, fmt.Errorf("api: operator mode needs a journal directory")
+	}
+	if _, err := fleet.PolicyByName(mode.Policy); err != nil {
+		return 0, err
+	}
+	if mode.Clock == nil {
+		mode.Clock = fleet.NewRealClock()
+	}
+	if err := os.MkdirAll(mode.JournalDir, 0o755); err != nil {
+		return 0, err
+	}
+
+	fr := &s.fleets
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	if fr.mode != nil {
+		return 0, fmt.Errorf("api: operator mode already enabled")
+	}
+
+	names, err := filepath.Glob(filepath.Join(mode.JournalDir, "fleet-*.journal"))
+	if err != nil {
+		return 0, err
+	}
+	sort.Strings(names)
+	recovered := 0
+	for _, path := range names {
+		spec, ok, err := fleet.PeekSpec(path, "")
+		if err != nil {
+			return recovered, fmt.Errorf("api: recovering %s: %w", path, err)
+		}
+		if !ok {
+			continue // an empty journal file carries no fleet yet
+		}
+		topo, err := spec.Topology()
+		if err != nil {
+			return recovered, fmt.Errorf("api: recovering %s: %w", path, err)
+		}
+		fp := topo.Fingerprint()
+		if _, dup := fr.ops[fp]; dup {
+			return recovered, fmt.Errorf("api: journals %s and fleet %s describe the same topology", path, fp)
+		}
+		op, err := fleet.NewOperator(s.pool.ShardFor(fp), spec, fleet.OperatorConfig{
+			Clock:         mode.Clock,
+			Journal:       path,
+			SnapshotEvery: mode.SnapshotEvery,
+		})
+		if err != nil {
+			return recovered, fmt.Errorf("api: recovering %s: %w", path, err)
+		}
+		fr.ops[fp] = op
+		recovered++
+	}
+	fr.mode = &mode
+	return recovered, nil
+}
+
+// OperatorEnabled reports whether the jobs surface runs in operator
+// mode.
+func (s *Server) OperatorEnabled() bool {
+	s.fleets.mu.Lock()
+	defer s.fleets.mu.Unlock()
+	return s.fleets.mode != nil
+}
+
+// CloseOperators cleanly shuts every operator down: retire what is
+// retirable, cut a final snapshot, close the journals. Part of the
+// graceful-shutdown path; a crash instead leaves journals the recovery
+// path replays.
+func (s *Server) CloseOperators() error {
+	fr := &s.fleets
+	fr.mu.Lock()
+	ops := make([]*fleet.Operator, 0, len(fr.ops))
+	for _, op := range fr.ops {
+		ops = append(ops, op)
+	}
+	fr.mu.Unlock()
+	var first error
+	for _, op := range ops {
+		if err := op.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// AbortOperators drops every operator cold — journals close, but
+// nothing retires and no snapshot is cut — leaving exactly the state a
+// kill -9 leaves. The crash-recovery tests (and fast non-graceful
+// teardowns) use it; production shutdown wants CloseOperators.
+func (s *Server) AbortOperators() error {
+	fr := &s.fleets
+	fr.mu.Lock()
+	ops := make([]*fleet.Operator, 0, len(fr.ops))
+	for _, op := range fr.ops {
+		ops = append(ops, op)
+	}
+	fr.mu.Unlock()
+	var first error
+	for _, op := range ops {
+		if err := op.Abort(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// operatorFor resolves (or creates, when room allows) the operator
+// owning the given fleet. Caller passes the validated topology
+// fingerprint. The requested policy applies to fresh fleets and must
+// match on existing ones (409 otherwise): a fleet has exactly one
+// policy at a time, switching it is an operator action, not a
+// side effect of a submit.
+func (s *Server) operatorFor(fp string, spec fleet.Spec, policy string) (*fleet.Operator, error) {
+	fr := &s.fleets
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	if op, ok := fr.ops[fp]; ok {
+		if policy != "" && policy != op.Policy() {
+			return nil, errf(http.StatusConflict,
+				"jobs: fleet %s schedules under policy %q; a submit cannot switch it to %q", fp, op.Policy(), policy)
+		}
+		return op, nil
+	}
+	if len(fr.ops) >= maxFleets {
+		return nil, errf(http.StatusTooManyRequests, "jobs: daemon already manages %d fleets", maxFleets)
+	}
+	if policy == "" {
+		policy = fr.mode.Policy
+	}
+	op, err := fleet.NewOperator(s.pool.ShardFor(fp), spec, fleet.OperatorConfig{
+		Clock:         fr.mode.Clock,
+		Journal:       filepath.Join(fr.mode.JournalDir, journalName(fp)),
+		Policy:        policy,
+		SnapshotEvery: fr.mode.SnapshotEvery,
+	})
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "jobs: %v", err)
+	}
+	fr.ops[fp] = op
+	return op, nil
+}
+
+// operators snapshots the operator set ordered by fingerprint, the
+// deterministic scan order for job-ID resolution (at most maxFleets
+// entries, so a scan is bounded and cheap).
+func (s *Server) operators() ([]string, map[string]*fleet.Operator) {
+	fr := &s.fleets
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	fps := make([]string, 0, len(fr.ops))
+	ops := make(map[string]*fleet.Operator, len(fr.ops))
+	for fp, op := range fr.ops {
+		fps = append(fps, fp)
+		ops[fp] = op
+	}
+	sort.Strings(fps)
+	return fps, ops
+}
+
+// findOperatorJob resolves a job ID to its owning operator by scanning
+// the (≤ maxFleets) operators in fingerprint order.
+func (s *Server) findOperatorJob(id string) (*fleet.Operator, string, bool) {
+	fps, ops := s.operators()
+	for _, fp := range fps {
+		if ops[fp].Has(id) {
+			return ops[fp], fp, true
+		}
+	}
+	return nil, "", false
+}
+
+// submitOperator admits one job in operator mode.
+func (s *Server) submitOperator(w http.ResponseWriter, req JobRequest, fp string) {
+	// Global job-ID uniqueness across fleets, like the registry map in
+	// manager mode. Same-fleet duplicates fall through to the operator's
+	// own (journal-consistent) check.
+	if _, owner, ok := s.findOperatorJob(req.Job.ID); ok && owner != fp {
+		writeError(w, http.StatusConflict, "jobs: job %q already exists in fleet %s", req.Job.ID, owner)
+		return
+	}
+	op, err := s.operatorFor(fp, req.Fleet, req.Policy)
+	if err != nil {
+		writeError(w, errStatus(err), "%s", err)
+		return
+	}
+	if op.Len() >= fleet.MaxJobs {
+		writeError(w, http.StatusTooManyRequests, "jobs: fleet already holds %d jobs (the per-fleet limit)", fleet.MaxJobs)
+		return
+	}
+	if err := op.Submit(req.Job); err != nil {
+		status := http.StatusBadRequest
+		if strings.Contains(err.Error(), "already") {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "jobs: %v", err)
+		return
+	}
+	s.writeOperatorJob(w, op, fp, req.Job.ID)
+}
+
+// writeOperatorJob answers with one job's placement, wall-clock state,
+// and the owning fleet's schedule summary.
+func (s *Server) writeOperatorJob(w http.ResponseWriter, op *fleet.Operator, fp, id string) {
+	st, ok, err := op.Job(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "jobs: %v", err)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, "jobs: no such job %q", id)
+		return
+	}
+	sched, err := op.Schedule()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "jobs: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, JobResponse{
+		Fleet:       fp,
+		Jobs:        op.Len(),
+		Placement:   st.Placement,
+		State:       st.State,
+		Now:         op.Now(),
+		Policy:      op.Policy(),
+		Makespan:    sched.Makespan,
+		Utilization: sched.Utilization,
+	})
+}
+
+// getOperatorJob answers GET /v1/jobs/{id} in operator mode: live and
+// retired jobs both resolve (a client polling a finished job sees
+// state "done" with its final placement, not a 404).
+func (s *Server) getOperatorJob(w http.ResponseWriter, id string) {
+	op, fp, ok := s.findOperatorJob(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "jobs: no such job %q", id)
+		return
+	}
+	s.writeOperatorJob(w, op, fp, id)
+}
+
+// cancelOperatorJob answers DELETE /v1/jobs/{id} in operator mode.
+// Retired jobs refuse with 409: their outcome is history, not
+// cancellable work.
+func (s *Server) cancelOperatorJob(w http.ResponseWriter, id string) {
+	op, _, ok := s.findOperatorJob(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "jobs: no such job %q", id)
+		return
+	}
+	canceled, err := op.Cancel(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "jobs: %v", err)
+		return
+	}
+	if !canceled {
+		writeError(w, http.StatusConflict, "jobs: job %q already ran to completion", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, CancelResponse{Job: id, Canceled: true, Jobs: op.Len()})
+}
+
+// listOperatorFleets answers GET /v1/jobs in operator mode: every
+// fleet's live schedule plus its policy, wall clock, and retired-job
+// count.
+func (s *Server) listOperatorFleets(w http.ResponseWriter) {
+	fps, ops := s.operators()
+	resp := FleetsResponse{Version: Version, Fleets: []FleetSchedule{}}
+	for _, fp := range fps {
+		op := ops[fp]
+		sched, err := op.Schedule()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "jobs: fleet %s: %v", fp, err)
+			return
+		}
+		resp.Fleets = append(resp.Fleets, FleetSchedule{
+			Fleet:    fp,
+			Jobs:     op.Len(),
+			Schedule: sched,
+			Policy:   op.Policy(),
+			Now:      op.Now(),
+			Done:     len(op.Done()),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,114 @@
+package fleet
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock abstracts wall time for the always-on operator. The replay
+// itself stays on its virtual clock — a Clock only decides *when real
+// things happen*: when a submit is stamped, when the event loop wakes
+// for a placement edge, when completed work is retired. Production uses
+// the monotonic real clock; tests inject a FakeClock so operator runs
+// (and their golden comparisons) are deterministic down to the bit.
+type Clock interface {
+	// Now is the elapsed time in seconds since the clock's epoch.
+	Now() float64
+	// After returns a channel that is closed once Now() >= at. An
+	// at of +Inf never fires. The channel fires at-most-late: a real
+	// clock rounds to timer resolution, never early.
+	After(at float64) <-chan struct{}
+}
+
+// realClock is the production clock: a monotonic reading against a
+// fixed epoch (time.Since uses the monotonic part of epoch, so NTP
+// steps cannot move operator time backwards).
+type realClock struct {
+	epoch time.Time
+}
+
+// NewRealClock starts a monotonic wall clock with epoch = now.
+func NewRealClock() Clock { return &realClock{epoch: time.Now()} }
+
+func (c *realClock) Now() float64 { return time.Since(c.epoch).Seconds() }
+
+func (c *realClock) After(at float64) <-chan struct{} {
+	ch := make(chan struct{})
+	if math.IsInf(at, 1) {
+		return ch // never fires
+	}
+	d := time.Duration((at - c.Now()) * float64(time.Second))
+	if d < 0 {
+		d = 0
+	}
+	time.AfterFunc(d, func() { close(ch) })
+	return ch
+}
+
+// FakeClock is the test clock: time moves only through Advance/Set, so
+// an operator soak — submits, edges, retirement, snapshots — replays
+// identically on every run.
+type FakeClock struct {
+	mu      sync.Mutex
+	now     float64
+	waiters []fakeWaiter
+}
+
+type fakeWaiter struct {
+	at float64
+	ch chan struct{}
+}
+
+// NewFakeClock starts a fake clock at instant 0.
+func NewFakeClock() *FakeClock { return &FakeClock{} }
+
+func (c *FakeClock) Now() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *FakeClock) After(at float64) <-chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := make(chan struct{})
+	if math.IsInf(at, 1) {
+		return ch
+	}
+	if at <= c.now {
+		close(ch)
+		return ch
+	}
+	c.waiters = append(c.waiters, fakeWaiter{at: at, ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward by dt seconds, firing due waiters in
+// deadline order.
+func (c *FakeClock) Advance(dt float64) { c.Set(c.Now() + dt) }
+
+// Set moves the clock to instant t (never backwards), firing every
+// waiter whose deadline has arrived, earliest first.
+func (c *FakeClock) Set(t float64) {
+	c.mu.Lock()
+	if t > c.now {
+		c.now = t
+	}
+	var due []fakeWaiter
+	keep := c.waiters[:0]
+	for _, w := range c.waiters {
+		if w.at <= c.now {
+			due = append(due, w)
+		} else {
+			keep = append(keep, w)
+		}
+	}
+	c.waiters = keep
+	c.mu.Unlock()
+	sort.SliceStable(due, func(a, b int) bool { return due[a].at < due[b].at })
+	for _, w := range due {
+		close(w.ch)
+	}
+}

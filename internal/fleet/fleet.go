@@ -54,6 +54,16 @@ type Job struct {
 	Model config.ModelConfig `json:"model"`
 	// Framework selects the behaviour profile (default Holmes).
 	Framework string `json:"framework,omitempty"`
+	// Priority is the job's tier under the "priority" policy: higher
+	// runs first and may preempt strictly lower tiers. Other policies
+	// ignore it. Default 0.
+	Priority int `json:"priority,omitempty"`
+	// Tenant groups jobs for the "fair" policy's weighted fair-share
+	// accounting. Empty = the job is its own tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// Weight scales the tenant's fair share (default 1). Must be
+	// positive when set.
+	Weight float64 `json:"weight,omitempty"`
 }
 
 // Spec describes the shared fleet topology of a trace: the env/nodes
@@ -78,6 +88,8 @@ type Trace struct {
 	Fleet    Spec               `json:"fleet"`
 	Scenario *scenario.Scenario `json:"scenario,omitempty"`
 	Jobs     []Job              `json:"jobs"`
+	// Policy names the scheduling policy ("" = "fifo"); see PolicyNames.
+	Policy string `json:"policy,omitempty"`
 }
 
 // Load parses a trace from JSON, rejecting unknown fields.
@@ -140,6 +152,9 @@ type Placement struct {
 	Evictions int     `json:"evictions,omitempty"`
 	Replans   int     `json:"replans,omitempty"`
 	Recovery  float64 `json:"recovery,omitempty"`
+	// Preemptions counts requeues forced by a higher-entitled job under
+	// a preemptive policy (never by a fault).
+	Preemptions int `json:"preemptions,omitempty"`
 	// MissedDeadline reports Finish > Deadline for deadline jobs.
 	MissedDeadline bool `json:"missed_deadline,omitempty"`
 	// Unplaced carries the reason a job could never run (demand beyond
@@ -150,8 +165,11 @@ type Placement struct {
 // Schedule is the deterministic outcome of replaying a trace.
 type Schedule struct {
 	Trace string `json:"trace,omitempty"`
-	Nodes int    `json:"nodes"`
-	GPUs  int    `json:"gpus"`
+	// Policy is the scheduling policy that produced this schedule
+	// (omitted for the default FIFO).
+	Policy string `json:"policy,omitempty"`
+	Nodes  int    `json:"nodes"`
+	GPUs   int    `json:"gpus"`
 	// Jobs holds one placement per trace job, in trace order.
 	Jobs []Placement `json:"jobs"`
 	// Makespan is the completion instant of the last job; Utilization is
@@ -247,11 +265,13 @@ func Replay(eng *engine.Engine, tr *Trace) (*Schedule, error) {
 
 // rjob is one resolved, validated trace job.
 type rjob struct {
-	idx   int // trace position: the deterministic tie-breaker
-	job   Job
-	spec  model.Spec
-	fw    trainer.Framework
-	nodes int // demand in whole nodes
+	idx    int // trace position: the deterministic tie-breaker
+	job    Job
+	spec   model.Spec
+	fw     trainer.Framework
+	nodes  int     // demand in whole nodes
+	tenant string  // resolved tenant (job ID when unset)
+	weight float64 // resolved fair-share weight (1 when unset)
 }
 
 // ResolveJob validates one job against the fleet topology: non-empty ID,
@@ -275,6 +295,9 @@ func resolveJob(topo *topology.Topology, idx int, j Job) (rjob, error) {
 	}
 	if j.Deadline != 0 && (j.Deadline <= j.Submit || math.IsNaN(j.Deadline) || math.IsInf(j.Deadline, 0)) {
 		return rjob{}, fmt.Errorf("fleet: job %q deadline %v not after submit %v", j.ID, j.Deadline, j.Submit)
+	}
+	if j.Weight < 0 || math.IsNaN(j.Weight) || math.IsInf(j.Weight, 0) {
+		return rjob{}, fmt.Errorf("fleet: job %q has bad weight %v (must be positive, or 0 for the default)", j.ID, j.Weight)
 	}
 	g := topo.GPUsPerNode
 	if j.GPUs <= 0 || j.GPUs%g != 0 {
@@ -303,7 +326,15 @@ func resolveJob(topo *topology.Topology, idx int, j Job) (rjob, error) {
 			return rjob{}, fmt.Errorf("fleet: job %q has unknown framework %q", j.ID, j.Framework)
 		}
 	}
-	return rjob{idx: idx, job: j, spec: spec, fw: fw, nodes: j.GPUs / g}, nil
+	tenant := j.Tenant
+	if tenant == "" {
+		tenant = j.ID
+	}
+	weight := j.Weight
+	if weight == 0 {
+		weight = 1
+	}
+	return rjob{idx: idx, job: j, spec: spec, fw: fw, nodes: j.GPUs / g, tenant: tenant, weight: weight}, nil
 }
 
 // validateScenario checks the fleet-supported event kinds: the replay
@@ -352,6 +383,9 @@ func (tr *Trace) Validate() error {
 			return fmt.Errorf("fleet: jobs %d and %d share id %q", first, i, j.ID)
 		}
 		seen[j.ID] = i
+	}
+	if _, err := PolicyByName(tr.Policy); err != nil {
+		return err
 	}
 	return validateScenario(topo, tr.Scenario)
 }

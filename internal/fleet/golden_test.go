@@ -64,6 +64,7 @@ func diffPlacements(want, got Placement) string {
 	cmp("Evictions", want.Evictions, got.Evictions)
 	cmp("Replans", want.Replans, got.Replans)
 	cmp("Recovery", want.Recovery, got.Recovery)
+	cmp("Preemptions", want.Preemptions, got.Preemptions)
 	cmp("MissedDeadline", want.MissedDeadline, got.MissedDeadline)
 	cmp("Unplaced", want.Unplaced, got.Unplaced)
 	return b.String()

@@ -56,14 +56,15 @@ type runCheck struct {
 // checkpoint is the full replay state at one instant, after that
 // instant's placement pass.
 type checkpoint struct {
-	clock   float64
-	free    []bool
-	failed  map[int]bool
-	factors map[int]nodeFactors
-	queue   []qcheck
-	runs    []runCheck
-	busy    float64
-	results []Placement // by job ID (JobID field), one row per trace job
+	clock      float64
+	free       []bool
+	failed     map[int]bool
+	factors    map[int]nodeFactors
+	queue      []qcheck
+	runs       []runCheck
+	busy       float64
+	tenantBusy map[string]float64
+	results    []Placement // by job ID (JobID field), one row per trace job
 }
 
 // recorder accumulates checkpoints during a recorded replay.
@@ -78,20 +79,24 @@ func (rec *recorder) record(st *state) {
 		return
 	}
 	cp := &checkpoint{
-		clock:   st.clock,
-		free:    append([]bool(nil), st.free...),
-		failed:  make(map[int]bool, len(st.failed)),
-		factors: make(map[int]nodeFactors, len(st.factors)),
-		queue:   make([]qcheck, len(st.queue)),
-		runs:    make([]runCheck, len(st.runs)),
-		busy:    st.busy,
-		results: make([]Placement, len(st.results)),
+		clock:      st.clock,
+		free:       append([]bool(nil), st.free...),
+		failed:     make(map[int]bool, len(st.failed)),
+		factors:    make(map[int]nodeFactors, len(st.factors)),
+		queue:      make([]qcheck, len(st.queue)),
+		runs:       make([]runCheck, len(st.runs)),
+		busy:       st.busy,
+		tenantBusy: make(map[string]float64, len(st.tenantBusy)),
+		results:    make([]Placement, len(st.results)),
 	}
 	for k, v := range st.failed {
 		cp.failed[k] = v
 	}
 	for k, v := range st.factors {
 		cp.factors[k] = v
+	}
+	for k, v := range st.tenantBusy {
+		cp.tenantBusy[k] = v
 	}
 	for i, q := range st.queue {
 		cp.queue[i] = snapQ(q)
@@ -161,19 +166,21 @@ func (rec *recorder) popLast() *checkpoint {
 // missing from the trace — a sign the caller's invalidation missed a
 // mutation — so the caller falls back to a full recorded replay instead
 // of resuming from a stale base.
-func (cp *checkpoint) restore(s *Scheduler, jobs []*rjob) (*state, bool) {
+func (cp *checkpoint) restore(s *Scheduler, pol Policy, jobs []*rjob) (*state, bool) {
 	byID := make(map[string]*rjob, len(jobs))
 	for _, j := range jobs {
 		byID[j.job.ID] = j
 	}
 	st := &state{
-		sch:     s,
-		clock:   cp.clock,
-		free:    append([]bool(nil), cp.free...),
-		failed:  make(map[int]bool, len(cp.failed)),
-		factors: make(map[int]nodeFactors, len(cp.factors)),
-		busy:    cp.busy,
-		results: make([]Placement, len(jobs)),
+		sch:        s,
+		pol:        pol,
+		clock:      cp.clock,
+		free:       append([]bool(nil), cp.free...),
+		failed:     make(map[int]bool, len(cp.failed)),
+		factors:    make(map[int]nodeFactors, len(cp.factors)),
+		busy:       cp.busy,
+		tenantBusy: make(map[string]float64, len(cp.tenantBusy)),
+		results:    make([]Placement, len(jobs)),
 	}
 	if len(st.free) != s.topo.NumNodes() {
 		return nil, false
@@ -183,6 +190,9 @@ func (cp *checkpoint) restore(s *Scheduler, jobs []*rjob) (*state, bool) {
 	}
 	for k, v := range cp.factors {
 		st.factors[k] = v
+	}
+	for k, v := range cp.tenantBusy {
+		st.tenantBusy[k] = v
 	}
 	for i, j := range jobs {
 		st.results[i] = Placement{JobID: j.job.ID}
@@ -252,10 +262,15 @@ func (s *Scheduler) resume(tr *Trace, rec *recorder) (*Schedule, error) {
 		rec.reset()
 		return nil, err
 	}
+	pol, err := PolicyByName(tr.Policy)
+	if err != nil {
+		rec.reset()
+		return nil, err
+	}
 	arr := arrivalOrder(jobs)
 	evs := lowerEvents(s.topo, tr.Scenario)
 	if cp := rec.popLast(); cp != nil {
-		if st, ok := cp.restore(s, jobs); ok {
+		if st, ok := cp.restore(s, pol, jobs); ok {
 			ai, ei := 0, 0
 			for ai < len(arr) && arr[ai].job.Submit <= st.clock {
 				ai++
@@ -268,19 +283,7 @@ func (s *Scheduler) resume(tr *Trace, rec *recorder) (*Schedule, error) {
 		}
 		rec.reset()
 	}
-	st := &state{
-		sch:     s,
-		free:    make([]bool, s.topo.NumNodes()),
-		failed:  make(map[int]bool),
-		factors: make(map[int]nodeFactors),
-		results: make([]Placement, len(jobs)),
-	}
-	for i := range st.free {
-		st.free[i] = true
-	}
-	for i, j := range jobs {
-		st.results[i] = Placement{JobID: j.job.ID}
-	}
+	st := newState(s, pol, jobs)
 	ei := st.run(arr, evs, 0, 0, rec)
 	return buildSchedule(tr, jobs, st, ei), nil
 }

@@ -40,6 +40,7 @@ type Manager struct {
 	mu      sync.Mutex
 	jobs    map[string]Job
 	scn     *scenario.Scenario
+	policy  string // "" = DefaultPolicy
 	version uint64 // bumped on every mutation
 	cached  *Schedule
 	cachedV uint64
@@ -60,6 +61,35 @@ func NewManager(eng *engine.Engine, topo *topology.Topology) (*Manager, error) {
 
 // Topology exposes the fleet topology.
 func (m *Manager) Topology() *topology.Topology { return m.sch.Topology() }
+
+// SetPolicy switches the fleet's scheduling policy ("" = DefaultPolicy).
+// A policy decides every queue order from virtual time zero, so the
+// switch invalidates all checkpoints and the next Schedule call replays
+// the live set from scratch under the new policy.
+func (m *Manager) SetPolicy(name string) error {
+	if _, err := PolicyByName(name); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.policy == name {
+		return nil
+	}
+	m.policy = name
+	m.invalidateFrom(math.Inf(-1))
+	return nil
+}
+
+// Policy reports the fleet's scheduling policy name (resolved: never
+// empty).
+func (m *Manager) Policy() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.policy == "" {
+		return DefaultPolicy
+	}
+	return m.policy
+}
 
 // SetFullRecompute toggles the from-scratch oracle: when on, every
 // Schedule call replays the whole trace from virtual time zero and no
@@ -117,7 +147,11 @@ func (m *Manager) Cancel(id string) bool {
 
 // SetScenario replaces the fleet's scripted event timeline (nil clears
 // it). The change point is the earliest event in either the old or the
-// new timeline — everything before it replays identically.
+// new timeline — everything before it replays identically. The timeline
+// is deep-copied on the way in: a caller appending to sc.Events after
+// the call mutates its own copy, never the checkpointed replay state
+// (which would desync the incremental path from the oracle, since no
+// invalidateFrom would fire for the smuggled events).
 func (m *Manager) SetScenario(sc *scenario.Scenario) error {
 	if err := validateScenario(m.sch.topo, sc); err != nil {
 		return err
@@ -131,7 +165,7 @@ func (m *Manager) SetScenario(sc *scenario.Scenario) error {
 	if !sc.Empty() {
 		t = min(t, eventChange(sc.Events))
 	}
-	m.scn = sc
+	m.scn = sc.Clone()
 	m.invalidateFrom(t)
 	return nil
 }
@@ -155,11 +189,13 @@ func (m *Manager) ApplyEvent(ev scenario.Event) error {
 	return nil
 }
 
-// Scenario returns the live timeline (shared; treat as read-only).
+// Scenario returns a deep copy of the live timeline: mutating the
+// result cannot reach the manager's replay state (route edits through
+// SetScenario or ApplyEvent, which invalidate checkpoints properly).
 func (m *Manager) Scenario() *scenario.Scenario {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.scn
+	return m.scn.Clone()
 }
 
 // Len reports the live job count.
@@ -182,7 +218,7 @@ func (m *Manager) trace() *Trace {
 		}
 		return jobs[a].ID < jobs[b].ID
 	})
-	return &Trace{Jobs: jobs, Scenario: m.scn}
+	return &Trace{Jobs: jobs, Scenario: m.scn, Policy: m.policy}
 }
 
 // Schedule replays the live job set, memoized until the next mutation.
@@ -196,7 +232,7 @@ func (m *Manager) Schedule() (*Schedule, error) {
 	}
 	if len(m.jobs) == 0 {
 		m.rec.reset()
-		sched := &Schedule{Nodes: m.sch.topo.NumNodes(), GPUs: m.sch.topo.NumDevices()}
+		sched := &Schedule{Policy: m.policy, Nodes: m.sch.topo.NumNodes(), GPUs: m.sch.topo.NumDevices()}
 		m.cached, m.cachedV = sched, m.version
 		return sched, nil
 	}

@@ -1,0 +1,673 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"sync"
+
+	"holmes/internal/engine"
+	"holmes/internal/scenario"
+	"holmes/internal/topology"
+)
+
+// Operator is the always-on face of one fleet: a Manager driven by a
+// wall clock and backed by a durable journal. Where the Manager lives
+// purely on the virtual replay clock, the Operator binds that clock to
+// real instants — submits are stamped with the current wall time, an
+// event loop wakes exactly at the next placement edge or scenario
+// instant, completed work is retired at idle barriers — and every
+// mutation is journaled so a restarted process recovers its fleet and
+// resumes scheduling bit-identically to a process that never died.
+//
+// Determinism across a crash is the design center:
+//
+//   - The journal records mutations (inputs), never schedules
+//     (outputs): replaying the records through the same deterministic
+//     Manager reproduces every placement bit for bit.
+//   - Submit stamps a wall time only when the job carries none, and the
+//     stamp itself is journaled — recovery replays the stamped record
+//     and never re-stamps.
+//   - Retirement happens only at idle barriers (every live job finished
+//     or unplaceable, nothing queued), where removing finished jobs
+//     cannot change how any future submit replays; the retirement is
+//     itself a journal record, so killed and unkilled runs retire at
+//     identical points.
+type Operator struct {
+	m     *Manager
+	clock Clock
+	j     *Journal
+
+	mu       sync.Mutex
+	spec     Spec
+	snapPath string
+	base     float64 // operator wall instant at construction (recovery resumes here)
+	epoch    float64 // clock reading at construction
+	done      map[string]Placement
+	doneIDs   []string // retirement order, for stable snapshots
+	sinceSnp  int      // journal records since the last snapshot
+	snapEvery int
+
+	stop chan struct{}
+	wake chan struct{}
+	wg   sync.WaitGroup
+}
+
+// OperatorConfig configures NewOperator.
+type OperatorConfig struct {
+	// Clock drives the operator (nil = NewRealClock). Tests inject a
+	// FakeClock to make whole operator lifetimes deterministic.
+	Clock Clock
+	// Journal is the path of the fsync'd mutation log (required).
+	Journal string
+	// Snapshot is the snapshot document path ("" = Journal + ".snap").
+	Snapshot string
+	// Policy is the scheduling policy for a freshly created fleet
+	// ("" = DefaultPolicy). Ignored on recovery: the journal knows.
+	Policy string
+	// SnapshotEvery bounds journal growth: a snapshot is cut after
+	// this many records (default 64; retirement always snapshots).
+	SnapshotEvery int
+}
+
+// NewOperator opens (or recovers) the fleet at cfg.Journal. A fresh
+// journal creates the fleet from spec and writes the create record; an
+// existing journal/snapshot pair recovers the fleet — spec must then
+// match the recorded one — and resumes the wall clock from the
+// recovered instant.
+func NewOperator(eng *engine.Engine, spec Spec, cfg OperatorConfig) (*Operator, error) {
+	if cfg.Journal == "" {
+		return nil, fmt.Errorf("fleet: operator needs a journal path")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = NewRealClock()
+	}
+	if cfg.Snapshot == "" {
+		cfg.Snapshot = cfg.Journal + ".snap"
+	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 64
+	}
+
+	var snap *FleetSnapshot
+	if data, err := os.ReadFile(cfg.Snapshot); err == nil {
+		s, err := DecodeFleetSnapshot(data)
+		if err != nil {
+			return nil, err // reject-all: a corrupt snapshot never half-loads
+		}
+		snap = &s
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	j, recs, err := OpenJournal(cfg.Journal)
+	if err != nil {
+		return nil, err
+	}
+
+	o := &Operator{
+		clock:     cfg.Clock,
+		j:         j,
+		snapPath:  cfg.Snapshot,
+		epoch:     cfg.Clock.Now(),
+		done:      make(map[string]Placement),
+		snapEvery: cfg.SnapshotEvery,
+		stop:      make(chan struct{}),
+		wake:      make(chan struct{}, 1),
+	}
+	fail := func(err error) (*Operator, error) {
+		j.Close()
+		return nil, err
+	}
+
+	switch {
+	case snap != nil:
+		if err := o.restoreSnapshot(eng, spec, *snap); err != nil {
+			return fail(err)
+		}
+		// Replay only the suffix the snapshot does not cover.
+		for _, rec := range recs {
+			if rec.Seq <= snap.Seq {
+				continue
+			}
+			if err := o.applyRecord(rec); err != nil {
+				return fail(fmt.Errorf("fleet: journal replay seq %d: %w", rec.Seq, err))
+			}
+			o.base = math.Max(o.base, rec.At)
+		}
+	case len(recs) > 0:
+		if recs[0].Kind != RecCreate || recs[0].Fleet == nil {
+			return fail(fmt.Errorf("fleet: journal %s does not begin with a create record", cfg.Journal))
+		}
+		if err := o.create(eng, *recs[0].Fleet, recs[0].Policy); err != nil {
+			return fail(err)
+		}
+		if !specEqual(spec, *recs[0].Fleet) {
+			return fail(fmt.Errorf("fleet: journal %s was created for a different fleet spec", cfg.Journal))
+		}
+		for _, rec := range recs[1:] {
+			if err := o.applyRecord(rec); err != nil {
+				return fail(fmt.Errorf("fleet: journal replay seq %d: %w", rec.Seq, err))
+			}
+			o.base = math.Max(o.base, rec.At)
+		}
+	default:
+		if err := o.create(eng, spec, cfg.Policy); err != nil {
+			return fail(err)
+		}
+		if _, err := j.Append(Record{At: 0, Kind: RecCreate, Fleet: &spec, Policy: cfg.Policy}); err != nil {
+			return fail(err)
+		}
+	}
+
+	o.wg.Add(1)
+	go o.loop()
+	return o, nil
+}
+
+func specEqual(a, b Spec) bool {
+	ta, err := a.Topology()
+	if err != nil {
+		return false
+	}
+	tb, err := b.Topology()
+	if err != nil {
+		return false
+	}
+	return ta.Fingerprint() == tb.Fingerprint()
+}
+
+// create builds the fresh manager.
+func (o *Operator) create(eng *engine.Engine, spec Spec, policy string) error {
+	topo, err := spec.Topology()
+	if err != nil {
+		return err
+	}
+	m, err := NewManager(eng, topo)
+	if err != nil {
+		return err
+	}
+	if err := m.SetPolicy(policy); err != nil {
+		return err
+	}
+	o.m, o.spec = m, spec
+	return nil
+}
+
+// restoreSnapshot rebuilds the manager from a snapshot document.
+func (o *Operator) restoreSnapshot(eng *engine.Engine, spec Spec, s FleetSnapshot) error {
+	if !specEqual(spec, s.Fleet) {
+		return fmt.Errorf("fleet: snapshot %s was taken for a different fleet spec", o.snapPath)
+	}
+	if err := o.create(eng, s.Fleet, s.Policy); err != nil {
+		return err
+	}
+	if s.Scenario != nil {
+		if err := o.m.SetScenario(s.Scenario); err != nil {
+			return err
+		}
+	}
+	for _, j := range s.Jobs {
+		if err := o.m.Submit(j); err != nil {
+			return err
+		}
+	}
+	for _, p := range s.Done {
+		o.done[p.JobID] = p
+		o.doneIDs = append(o.doneIDs, p.JobID)
+	}
+	o.base = s.Now
+	return nil
+}
+
+// applyRecord folds one recovered journal record into the manager.
+// Replay is quiet: nothing is re-journaled, and retirement re-derives
+// the retired placements from the (deterministic) schedule exactly as
+// the live path did.
+func (o *Operator) applyRecord(rec Record) error {
+	switch rec.Kind {
+	case RecCreate:
+		return fmt.Errorf("unexpected create record mid-journal")
+	case RecSubmit:
+		if rec.Job == nil {
+			return fmt.Errorf("submit record without a job")
+		}
+		return o.m.Submit(*rec.Job)
+	case RecCancel:
+		o.m.Cancel(rec.ID)
+		return nil
+	case RecApplyEvent:
+		if rec.Event == nil {
+			return fmt.Errorf("apply_event record without an event")
+		}
+		return o.m.ApplyEvent(*rec.Event)
+	case RecSetScenario:
+		return o.m.SetScenario(rec.Scenario)
+	case RecSetPolicy:
+		return o.m.SetPolicy(rec.Policy)
+	case RecRetire:
+		return o.retireIDs(rec.IDs)
+	default:
+		return fmt.Errorf("unknown kind %q", rec.Kind)
+	}
+}
+
+// retireIDs moves the listed jobs from the live set into the done map,
+// capturing their final placements from the current schedule. Shared
+// by the live idle-barrier path and journal replay: both derive the
+// placements from the same deterministic schedule, so a recovered done
+// map is bit-identical to the unkilled one.
+func (o *Operator) retireIDs(ids []string) error {
+	sched, err := o.m.Schedule()
+	if err != nil {
+		return err
+	}
+	byID := make(map[string]Placement, len(sched.Jobs))
+	for _, p := range sched.Jobs {
+		byID[p.JobID] = p
+	}
+	for _, id := range ids {
+		p, ok := byID[id]
+		if !ok {
+			return fmt.Errorf("retire record names unknown job %q", id)
+		}
+		o.done[id] = p
+		o.doneIDs = append(o.doneIDs, id)
+		o.m.Cancel(id)
+	}
+	return nil
+}
+
+// now is the operator wall instant: recovered base plus elapsed clock
+// time since construction. Callers hold o.mu or tolerate a racy read.
+func (o *Operator) now() float64 { return o.base + (o.clock.Now() - o.epoch) }
+
+// Now reports the operator's wall instant: monotonic within a process
+// and across recoveries (a restarted operator resumes from the
+// recovered instant, never earlier).
+func (o *Operator) Now() float64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.now()
+}
+
+// Topology exposes the fleet topology.
+func (o *Operator) Topology() *topology.Topology { return o.m.Topology() }
+
+// Policy reports the live scheduling policy.
+func (o *Operator) Policy() string { return o.m.Policy() }
+
+// Len reports the live (unretired) job count.
+func (o *Operator) Len() int { return o.m.Len() }
+
+// kick wakes the event loop to recompute its next edge.
+func (o *Operator) kick() {
+	select {
+	case o.wake <- struct{}{}:
+	default:
+	}
+}
+
+// journalApplied journals one already-applied mutation and rolls it
+// back when the journal refuses: a mutation is acknowledged only once
+// durable. Callers hold o.mu.
+func (o *Operator) journalApplied(rec Record, rollback func()) error {
+	if _, err := o.j.Append(rec); err != nil {
+		rollback()
+		return fmt.Errorf("fleet: journal append: %w", err)
+	}
+	o.sinceSnp++
+	return nil
+}
+
+// Submit admits one job. A zero Submit is stamped with the operator's
+// wall instant (the common live path); an explicit positive stamp is
+// honored untouched, which keeps scripted soaks reproducible. The
+// stamped job is what gets journaled, so recovery replays the exact
+// admitted record.
+func (o *Operator) Submit(j Job) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, dup := o.done[j.ID]; dup {
+		return fmt.Errorf("fleet: job %q already ran to completion", j.ID)
+	}
+	at := o.now()
+	if j.Submit == 0 {
+		j.Submit = at
+	}
+	if err := o.m.Submit(j); err != nil {
+		return err
+	}
+	if err := o.journalApplied(Record{At: at, Kind: RecSubmit, Job: &j}, func() { o.m.Cancel(j.ID) }); err != nil {
+		return err
+	}
+	o.kick()
+	return nil
+}
+
+// Cancel removes a live job; false = unknown (or already retired) ID.
+func (o *Operator) Cancel(id string) (bool, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	job, live := o.m.jobByID(id)
+	if !live {
+		return false, nil
+	}
+	if !o.m.Cancel(id) {
+		return false, nil
+	}
+	err := o.journalApplied(Record{At: o.now(), Kind: RecCancel, ID: id}, func() { _ = o.m.Submit(job) })
+	if err != nil {
+		return false, err
+	}
+	o.kick()
+	return true, nil
+}
+
+// ApplyEvent appends one scenario event. A zero At is stamped with the
+// operator's wall instant.
+func (o *Operator) ApplyEvent(ev scenario.Event) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	at := o.now()
+	if ev.At == 0 {
+		ev.At = at
+	}
+	prev := o.m.Scenario()
+	if err := o.m.ApplyEvent(ev); err != nil {
+		return err
+	}
+	err := o.journalApplied(Record{At: at, Kind: RecApplyEvent, Event: &ev}, func() { _ = o.m.SetScenario(prev) })
+	if err != nil {
+		return err
+	}
+	o.kick()
+	return nil
+}
+
+// SetScenario replaces the fleet timeline (nil clears it).
+func (o *Operator) SetScenario(sc *scenario.Scenario) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	prev := o.m.Scenario()
+	if err := o.m.SetScenario(sc); err != nil {
+		return err
+	}
+	err := o.journalApplied(Record{At: o.now(), Kind: RecSetScenario, Scenario: sc.Clone()}, func() { _ = o.m.SetScenario(prev) })
+	if err != nil {
+		return err
+	}
+	o.kick()
+	return nil
+}
+
+// SetPolicy switches the scheduling policy.
+func (o *Operator) SetPolicy(name string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	prev := o.m.Policy()
+	if err := o.m.SetPolicy(name); err != nil {
+		return err
+	}
+	err := o.journalApplied(Record{At: o.now(), Kind: RecSetPolicy, Policy: name}, func() { _ = o.m.SetPolicy(prev) })
+	if err != nil {
+		return err
+	}
+	o.kick()
+	return nil
+}
+
+// Schedule returns the live replay schedule (retired jobs excluded;
+// see Done).
+func (o *Operator) Schedule() (*Schedule, error) { return o.m.Schedule() }
+
+// Done returns the placements of retired jobs in retirement order.
+func (o *Operator) Done() []Placement {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]Placement, 0, len(o.doneIDs))
+	for _, id := range o.doneIDs {
+		out = append(out, o.done[id])
+	}
+	return out
+}
+
+// JobStatus is one job's operator-eye view: the placement plus where
+// it stands against the wall clock.
+type JobStatus struct {
+	Placement
+	// State is "queued" (before its start), "running", "done"
+	// (finished or retired), or "unplaced".
+	State string `json:"state"`
+}
+
+// Has reports whether the operator knows the ID — live or retired —
+// without computing a schedule (cheap membership for registry scans).
+func (o *Operator) Has(id string) bool {
+	o.mu.Lock()
+	_, retired := o.done[id]
+	o.mu.Unlock()
+	if retired {
+		return true
+	}
+	_, live := o.m.jobByID(id)
+	return live
+}
+
+// Job reports one job's placement and wall-clock state; false =
+// unknown ID.
+func (o *Operator) Job(id string) (JobStatus, bool, error) {
+	o.mu.Lock()
+	if p, ok := o.done[id]; ok {
+		o.mu.Unlock()
+		st := "done"
+		if p.Unplaced != "" {
+			st = "unplaced"
+		}
+		return JobStatus{Placement: p, State: st}, true, nil
+	}
+	o.mu.Unlock()
+	p, ok, err := o.m.Job(id)
+	if err != nil || !ok {
+		return JobStatus{}, ok, err
+	}
+	now := o.Now()
+	st := "queued"
+	switch {
+	case p.Unplaced != "":
+		st = "unplaced"
+	case now >= p.Finish && len(p.Nodes) > 0:
+		st = "done"
+	case now >= p.Start && len(p.Nodes) > 0:
+		st = "running"
+	}
+	return JobStatus{Placement: p, State: st}, true, nil
+}
+
+// nextEdge is the earliest wall instant after now where something
+// observable happens: a placement starts or finishes, or a scenario
+// event fires. +Inf when nothing is pending.
+func (o *Operator) nextEdge() float64 {
+	sched, err := o.m.Schedule()
+	if err != nil {
+		return math.Inf(1)
+	}
+	o.mu.Lock()
+	now := o.now()
+	o.mu.Unlock()
+	edge := math.Inf(1)
+	for _, p := range sched.Jobs {
+		if p.Unplaced != "" {
+			continue
+		}
+		if p.Start > now {
+			edge = math.Min(edge, p.Start)
+		}
+		if p.Finish > now {
+			edge = math.Min(edge, p.Finish)
+		}
+	}
+	if sc := o.m.Scenario(); sc != nil {
+		for _, ev := range sc.Events {
+			if ev.At > now {
+				edge = math.Min(edge, ev.At)
+			}
+		}
+	}
+	return edge
+}
+
+// loop is the wall-clock driver: sleep precisely until the next edge
+// (or a mutation), then retire and snapshot as due. The wake path must
+// tick too, not just re-arm: an edge can pass between a mutation and
+// the re-arm (nextEdge then sees only the past and returns +Inf), and
+// a tick is the only thing that processes an edge already behind us.
+// Ticking is idempotent, so ticking on a wake that has nothing due is
+// harmless.
+func (o *Operator) loop() {
+	defer o.wg.Done()
+	for {
+		timer := o.clock.After(o.nextEdge())
+		select {
+		case <-o.stop:
+			return
+		case <-o.wake:
+			o.tick()
+		case <-timer:
+			o.tick()
+		}
+	}
+}
+
+// tick runs at an edge: retire at idle barriers, snapshot when the
+// journal has grown enough.
+func (o *Operator) tick() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	_ = o.tryRetireLocked()
+	if o.sinceSnp >= o.snapEvery {
+		_ = o.snapshotLocked()
+	}
+}
+
+// tryRetireLocked retires the whole live set when the fleet is at an
+// idle barrier: every live job has either finished by now or can never
+// be placed. At such an instant the replay state visible to any future
+// submit equals a fresh fleet under the same timeline, so removing the
+// finished jobs cannot change any future placement — and the retire
+// record makes killed and unkilled runs retire identically.
+func (o *Operator) tryRetireLocked() error {
+	if o.m.Len() == 0 {
+		return nil
+	}
+	sched, err := o.m.Schedule()
+	if err != nil {
+		return err
+	}
+	now := o.now()
+	var ids []string
+	for _, p := range sched.Jobs {
+		if p.Unplaced == "" && (len(p.Nodes) == 0 || p.Finish > now) {
+			return nil // something is still queued or running
+		}
+		ids = append(ids, p.JobID)
+	}
+	sort.Strings(ids)
+	if err := o.retireIDs(ids); err != nil {
+		return err
+	}
+	if _, err := o.j.Append(Record{At: now, Kind: RecRetire, IDs: ids}); err != nil {
+		return err
+	}
+	return o.snapshotLocked()
+}
+
+// snapshotLocked cuts a durable snapshot and resets the journal.
+// Write-then-rename keeps a crash from ever leaving a half-written
+// snapshot next to a truncated journal.
+func (o *Operator) snapshotLocked() error {
+	snap := FleetSnapshot{
+		Seq:      o.j.Seq(),
+		Now:      o.now(),
+		Fleet:    o.spec,
+		Policy:   o.m.Policy(),
+		Scenario: o.m.Scenario(),
+	}
+	for _, id := range o.doneIDs {
+		snap.Done = append(snap.Done, o.done[id])
+	}
+	snap.Jobs = o.m.liveJobs()
+	doc, err := EncodeFleetSnapshot(snap)
+	if err != nil {
+		return err
+	}
+	tmp := o.snapPath + ".tmp"
+	if err := os.WriteFile(tmp, doc, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, o.snapPath); err != nil {
+		return err
+	}
+	if err := o.j.Reset(snap.Seq); err != nil {
+		return err
+	}
+	o.sinceSnp = 0
+	return nil
+}
+
+// Snapshot forces a snapshot now (the loop also cuts them on its own).
+func (o *Operator) Snapshot() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.snapshotLocked()
+}
+
+// Close retires what it can, cuts a final snapshot, and closes the
+// journal. The operator is unusable afterwards.
+func (o *Operator) Close() error {
+	close(o.stop)
+	o.wg.Wait()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	_ = o.tryRetireLocked()
+	err := o.snapshotLocked()
+	if cerr := o.j.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Abort simulates a crash for tests and fast shutdowns: the loop stops
+// and the journal closes with no retirement and no snapshot — exactly
+// the state a kill -9 leaves behind (minus any torn tail).
+func (o *Operator) Abort() error {
+	close(o.stop)
+	o.wg.Wait()
+	return o.j.Close()
+}
+
+// jobByID returns the live job by ID (manager helper for rollback).
+func (m *Manager) jobByID(id string) (Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// liveJobs lists the live set sorted by (submit, id) — the canonical
+// trace order, giving snapshots stable bytes.
+func (m *Manager) liveJobs() []Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	jobs := make([]Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	sort.Slice(jobs, func(a, b int) bool {
+		if jobs[a].Submit != jobs[b].Submit {
+			return jobs[a].Submit < jobs[b].Submit
+		}
+		return jobs[a].ID < jobs[b].ID
+	})
+	return jobs
+}

@@ -59,6 +59,7 @@ type choice struct {
 // state is the mutable replay state.
 type state struct {
 	sch     *Scheduler
+	pol     Policy
 	clock   float64
 	free    []bool // alive and idle, by original node index
 	failed  map[int]bool
@@ -66,7 +67,30 @@ type state struct {
 	queue   []*qentry
 	runs    []*run
 	busy    float64 // accumulated busy GPU-seconds
-	results []Placement
+	// tenantBusy is busy split by tenant (completed and evicted
+	// segments; live-run accrual is added on read by TenantUsage).
+	tenantBusy map[string]float64
+	results    []Placement
+}
+
+// newState builds the pristine replay state for a resolved trace.
+func newState(s *Scheduler, pol Policy, jobs []*rjob) *state {
+	st := &state{
+		sch:        s,
+		pol:        pol,
+		free:       make([]bool, s.topo.NumNodes()),
+		failed:     make(map[int]bool),
+		factors:    make(map[int]nodeFactors),
+		tenantBusy: make(map[string]float64),
+		results:    make([]Placement, len(jobs)),
+	}
+	for i := range st.free {
+		st.free[i] = true
+	}
+	for i, j := range jobs {
+		st.results[i] = Placement{JobID: j.job.ID}
+	}
+	return st
 }
 
 // resolveTrace validates the trace against the scheduler's topology and
@@ -120,19 +144,11 @@ func (s *Scheduler) replay(tr *Trace, rec *recorder) (*Schedule, error) {
 	if err != nil {
 		return nil, err
 	}
-	st := &state{
-		sch:     s,
-		free:    make([]bool, s.topo.NumNodes()),
-		failed:  make(map[int]bool),
-		factors: make(map[int]nodeFactors),
-		results: make([]Placement, len(jobs)),
+	pol, err := PolicyByName(tr.Policy)
+	if err != nil {
+		return nil, err
 	}
-	for i := range st.free {
-		st.free[i] = true
-	}
-	for i, j := range jobs {
-		st.results[i] = Placement{JobID: j.job.ID}
-	}
+	st := newState(s, pol, jobs)
 	arr := arrivalOrder(jobs)
 	evs := lowerEvents(s.topo, tr.Scenario)
 	ei := st.run(arr, evs, 0, 0, rec)
@@ -196,6 +212,7 @@ func (st *state) run(arr []*rjob, evs []scenario.Event, ai, ei int, rec *recorde
 func buildSchedule(tr *Trace, jobs []*rjob, st *state, appliedEvents int) *Schedule {
 	sched := &Schedule{
 		Trace:          tr.Name,
+		Policy:         tr.Policy,
 		Nodes:          st.sch.topo.NumNodes(),
 		GPUs:           st.sch.topo.NumDevices(),
 		Jobs:           st.results,
@@ -227,12 +244,13 @@ func (st *state) enqueue(j *rjob) {
 	st.sortQueue()
 }
 
+// sortQueue orders the queue by the replay's policy. Policies close
+// over PolicyState reads only (tenant usage is stable while a sort
+// runs) and end in the trace-index tie-break, so the order is total and
+// deterministic.
 func (st *state) sortQueue() {
 	sort.SliceStable(st.queue, func(a, b int) bool {
-		if st.queue[a].ready != st.queue[b].ready {
-			return st.queue[a].ready < st.queue[b].ready
-		}
-		return st.queue[a].j.idx < st.queue[b].j.idx
+		return st.pol.Less(st, st.queuedView(st.queue[a]), st.queuedView(st.queue[b]))
 	})
 }
 
@@ -471,6 +489,17 @@ func (st *state) placePass() {
 			st.queue = st.queue[1:]
 			continue
 		}
+		// Preemptive policies may clear room for a capacity-blocked head
+		// before the EASY reservation is taken. Victims requeue behind
+		// the head (they are less entitled by construction), so the head
+		// re-scores against the widened free set.
+		if st.preemptFor(head) {
+			if ch, ok := st.pick(head); ok {
+				st.start(head, ch, false)
+				st.queue = st.queue[1:]
+				continue
+			}
+		}
 		tHead := st.reserveTime(head.j.nodes)
 		freeCount := len(st.freeNodes())
 		var eligible []int
@@ -555,7 +584,7 @@ func (st *state) completeFinished() {
 		return done[a].q.j.idx < done[b].q.j.idx
 	})
 	for _, r := range done {
-		st.busy += st.gpus(r) * (r.finish - r.segStart)
+		st.accrue(r, r.finish-r.segStart)
 		for _, n := range r.nodes {
 			if !st.failed[n] {
 				st.free[n] = true
@@ -569,11 +598,19 @@ func (st *state) gpus(r *run) float64 {
 	return float64(len(r.nodes) * st.sch.topo.GPUsPerNode)
 }
 
+// accrue books dt seconds of the run's GPUs into the fleet total and
+// the run's tenant. Callers invoke it in replay-deterministic order, so
+// the floating-point sums are reproducible bit for bit.
+func (st *state) accrue(r *run, dt float64) {
+	st.busy += st.gpus(r) * dt
+	st.tenantBusy[r.q.j.tenant] += st.gpus(r) * dt
+}
+
 // segmentProgress closes the books on a run segment at the clock and
 // returns the iterations still owed (at least one: a run finishing
 // exactly now was already retired by completeFinished).
 func (st *state) segmentProgress(r *run) int {
-	st.busy += st.gpus(r) * (st.clock - r.segStart)
+	st.accrue(r, st.clock-r.segStart)
 	done := int((st.clock - r.segStart) / r.plan.Report.IterSeconds)
 	rem := r.iters - done
 	if rem < 1 {

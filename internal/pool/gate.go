@@ -37,10 +37,16 @@ func NewGate(maxInFlight, maxQueue int) *Gate {
 // without blocking — when both the slots and the queue are full, and when
 // ctx is done before a slot frees. Every true return must be paired with
 // Leave.
+//
+// A caller whose context is already done never gets a slot, even when
+// one is free: select picks ready cases at random, so without the
+// re-check a handler could win the race between a freed slot and
+// ctx.Done() and burn a full computation on a client that already
+// disconnected. Both acquisition arms re-check and hand the slot back.
 func (g *Gate) Enter(ctx context.Context) bool {
 	select {
 	case g.slots <- struct{}{}:
-		return true
+		return g.recheck(ctx)
 	default:
 	}
 	if g.queued.Add(1) > g.maxQueue {
@@ -51,7 +57,7 @@ func (g *Gate) Enter(ctx context.Context) bool {
 	defer g.queued.Add(-1)
 	select {
 	case g.slots <- struct{}{}:
-		return true
+		return g.recheck(ctx)
 	case <-ctx.Done():
 		// The client gave up while the queue still had room — that is an
 		// abort, not saturation, and must not inflate the backpressure
@@ -59,6 +65,17 @@ func (g *Gate) Enter(ctx context.Context) bool {
 		g.canceled.Add(1)
 		return false
 	}
+}
+
+// recheck confirms the caller is still alive after a slot was acquired,
+// releasing the slot and counting the abort otherwise.
+func (g *Gate) recheck(ctx context.Context) bool {
+	if ctx.Err() == nil {
+		return true
+	}
+	g.Leave()
+	g.canceled.Add(1)
+	return false
 }
 
 // Leave releases a slot acquired by a successful Enter.

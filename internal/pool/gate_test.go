@@ -88,6 +88,66 @@ func TestGateContextCancel(t *testing.T) {
 	g.Leave()
 }
 
+// TestGateDeadContextFastPath covers the immediate-admission arm: a
+// caller whose client already disconnected must not get a slot even when
+// one is free — the handler would burn a full plan/search on a dead
+// connection. The slot must go back to the pool, and the abort counts
+// under Canceled, not Rejected.
+func TestGateDeadContextFastPath(t *testing.T) {
+	g := NewGate(2, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if g.Enter(ctx) {
+		t.Fatal("dead caller was admitted through the fast path")
+	}
+	if g.Canceled() != 1 || g.Rejected() != 0 {
+		t.Fatalf("canceled %d rejected %d, want 1/0", g.Canceled(), g.Rejected())
+	}
+	if g.InFlight() != 0 {
+		t.Fatalf("in-flight %d: the dead caller leaked its slot", g.InFlight())
+	}
+	// The handed-back slot still serves live callers to the full bound.
+	live := context.Background()
+	if !g.Enter(live) || !g.Enter(live) {
+		t.Fatal("released slot did not re-admit live callers")
+	}
+	g.Leave()
+	g.Leave()
+}
+
+// TestGateDeadContextQueuedPath covers the race the queued arm can win:
+// a freed slot and ctx.Done() become ready together, select may pick the
+// slot, and without the re-check a dead caller would be admitted. With
+// both cases ready the outcome must always be a refusal with the slot
+// returned.
+func TestGateDeadContextQueuedPath(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		g := NewGate(1, 4)
+		if !g.Enter(context.Background()) {
+			t.Fatal("first enter")
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan bool, 1)
+		go func() { done <- g.Enter(ctx) }()
+		for j := 0; g.Queued() == 0 && j < 1000; j++ {
+			time.Sleep(time.Millisecond)
+		}
+		// Make both select cases ready: cancel, then free the slot.
+		cancel()
+		g.Leave()
+		if <-done {
+			t.Fatal("dead waiter was admitted")
+		}
+		if g.Canceled() != 1 {
+			t.Fatalf("canceled %d, want 1", g.Canceled())
+		}
+		if !g.Enter(context.Background()) {
+			t.Fatal("slot leaked: a live caller could not enter an empty gate")
+		}
+		g.Leave()
+	}
+}
+
 func TestGateClamps(t *testing.T) {
 	g := NewGate(0, -5) // clamped to 1 slot, 0 queue
 	if !g.Enter(context.Background()) {

@@ -2,9 +2,11 @@ package scenario
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"time"
 
 	"holmes/internal/netsim"
 	"holmes/internal/sim"
@@ -227,16 +229,35 @@ type HTTPBackend struct {
 	base   string
 	topo   *topology.Topology
 	client *http.Client
+	ctx    context.Context
 }
 
+// HTTPBackendTimeout bounds every POST of a backend built with a nil
+// client. An external impairment box that stops answering must fail the
+// timeline, not hang the scenario runtime forever — http.DefaultClient
+// has no timeout at all, so it is never used here.
+const HTTPBackendTimeout = 10 * time.Second
+
 // NewHTTPBackend creates a backend POSTing to baseURL (no trailing
-// slash), validating timelines against topo. A nil client uses
-// http.DefaultClient.
+// slash), validating timelines against topo. A nil client gets a default
+// client bounded by HTTPBackendTimeout; a caller-supplied client is
+// trusted as-is (set its Timeout, or cancel through WithContext).
 func NewHTTPBackend(baseURL string, topo *topology.Topology, client *http.Client) *HTTPBackend {
 	if client == nil {
-		client = http.DefaultClient
+		client = &http.Client{Timeout: HTTPBackendTimeout}
 	}
-	return &HTTPBackend{base: baseURL, topo: topo, client: client}
+	return &HTTPBackend{base: baseURL, topo: topo, client: client, ctx: context.Background()}
+}
+
+// WithContext binds every subsequent POST to ctx: cancelling it aborts
+// in-flight requests immediately, independent of the client's timeout.
+// It returns the backend for chaining.
+func (b *HTTPBackend) WithContext(ctx context.Context) *HTTPBackend {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	b.ctx = ctx
+	return b
 }
 
 func (b *HTTPBackend) post(path string, payload any) error {
@@ -244,7 +265,12 @@ func (b *HTTPBackend) post(path string, payload any) error {
 	if err != nil {
 		return fmt.Errorf("scenario: http backend: %w", err)
 	}
-	resp, err := b.client.Post(b.base+path, "application/json", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(b.ctx, http.MethodPost, b.base+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("scenario: http backend: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := b.client.Do(req)
 	if err != nil {
 		return fmt.Errorf("scenario: http backend: %w", err)
 	}

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"math"
@@ -10,6 +11,7 @@ import (
 	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"holmes/internal/netsim"
 	"holmes/internal/sim"
@@ -351,6 +353,60 @@ func randomCapacityStorm(rng *rand.Rand, nodes int) *Scenario {
 		}
 	}
 	return &Scenario{Name: "storm", Events: evs}
+}
+
+// TestHTTPBackendStallingServer is the regression for the untimed
+// default client: an impairment box that accepts the connection and then
+// never answers must fail the POST within the client's bound instead of
+// hanging the scenario runtime forever. Before the fix a nil client fell
+// back to http.DefaultClient, which has no timeout at all.
+func TestHTTPBackendStallingServer(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release // stall: no header, no body, until the test ends
+	}))
+	defer func() { close(release); srv.Close() }()
+
+	topo := topology.IBEnv(2)
+
+	// Arm 1: a nil client must get a bounded default, not
+	// http.DefaultClient. The bound itself is 10s — too slow for a unit
+	// test — so assert the wiring, then drive the stall with a short
+	// explicit timeout through the same code path.
+	b := NewHTTPBackend(srv.URL, topo, nil)
+	if b.client == http.DefaultClient {
+		t.Fatal("nil client fell back to the untimed http.DefaultClient")
+	}
+	if b.client.Timeout != HTTPBackendTimeout {
+		t.Fatalf("default client timeout %v, want %v", b.client.Timeout, HTTPBackendTimeout)
+	}
+
+	fast := NewHTTPBackend(srv.URL, topo, &http.Client{Timeout: 50 * time.Millisecond})
+	start := time.Now()
+	err := fast.SetNodeFactor(0, netsim.RDMA, 0.5)
+	if err == nil {
+		t.Fatal("POST against a stalling server returned nil")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("stalled POST took %v; the timeout did not bound it", elapsed)
+	}
+
+	// Arm 2: context cancellation aborts an in-flight POST even when the
+	// client itself has no timeout.
+	ctx, cancel := context.WithCancel(context.Background())
+	hung := NewHTTPBackend(srv.URL, topo, &http.Client{}).WithContext(ctx)
+	done := make(chan error, 1)
+	go func() { done <- hung.SetNodeFactor(0, netsim.RDMA, 0.5) }()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled POST returned nil")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled POST never returned: context is not plumbed through")
+	}
 }
 
 func TestHTTPBackendPostsTimeline(t *testing.T) {

@@ -185,6 +185,21 @@ type Scenario struct {
 // Empty reports whether the scenario schedules nothing.
 func (s *Scenario) Empty() bool { return s == nil || len(s.Events) == 0 }
 
+// Clone returns a deep copy (nil stays nil). Events are plain values, so
+// cloning the slice severs every alias: mutating the original after the
+// copy cannot reach the clone, and vice versa. Holders of long-lived
+// scenario state (the fleet manager, the operator journal) clone on the
+// way in and out so a caller appending to Events can never mutate
+// checkpointed replay state behind their backs.
+func (s *Scenario) Clone() *Scenario {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	c.Events = append([]Event(nil), s.Events...)
+	return &c
+}
+
 // String renders a short label for reports: the name, or an event count.
 func (s *Scenario) String() string {
 	if s.Empty() {
