@@ -39,6 +39,13 @@ type fleetRegistry struct {
 	owner  map[string]string         // job id -> fingerprint
 	ops    map[string]*fleet.Operator
 	mode   *OperatorMode
+	// submitMu serializes operator-mode submits end to end: the
+	// cross-fleet ID-uniqueness scan and the submit it guards must be
+	// one atomic step, or two concurrent submits of the same ID to
+	// different fleets both pass the scan and mint a duplicate ID. A
+	// dedicated lock rather than mu (which it wraps, never the reverse)
+	// so the fsync inside Submit never blocks registry readers.
+	submitMu sync.Mutex
 }
 
 func (fr *fleetRegistry) init() {

@@ -221,8 +221,12 @@ func (s *Server) findOperatorJob(id string) (*fleet.Operator, string, bool) {
 	return nil, "", false
 }
 
-// submitOperator admits one job in operator mode.
+// submitOperator admits one job in operator mode. The whole
+// check-then-submit runs under the registry's submit lock: the
+// uniqueness scan and the submit it authorizes are one atomic step.
 func (s *Server) submitOperator(w http.ResponseWriter, req JobRequest, fp string) {
+	s.fleets.submitMu.Lock()
+	defer s.fleets.submitMu.Unlock()
 	// Global job-ID uniqueness across fleets, like the registry map in
 	// manager mode. Same-fleet duplicates fall through to the operator's
 	// own (journal-consistent) check.

@@ -3,8 +3,11 @@ package api
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
 
 	"holmes/internal/fleet"
@@ -111,6 +114,55 @@ func TestOperatorModeLifecycle(t *testing.T) {
 	code, body = post(t, srv, "/v1/jobs", opJobBody("alpha", 8, ""))
 	if code != http.StatusConflict {
 		t.Fatalf("resubmit retired: %d %s", code, body)
+	}
+}
+
+// TestOperatorConcurrentDuplicateSubmits: two racing submits of the
+// same job ID aimed at *different* fleets must mint exactly one job.
+// Regression for a TOCTOU: the uniqueness scan and the submit it
+// authorized ran under separate lock scopes, so both racers could pass
+// the scan and create a cross-fleet duplicate ID, making later
+// GET/DELETE resolution ambiguous.
+func TestOperatorConcurrentDuplicateSubmits(t *testing.T) {
+	pool := serve.New(serve.Config{})
+	dir := t.TempDir()
+	_, srv := newOperatorServer(t, pool, dir, fleet.NewFakeClock())
+
+	const fleetB = `{"env":"Hybrid","nodes":8}`
+	for round := 0; round < 8; round++ {
+		id := fmt.Sprintf("dup-%d", round)
+		bodies := []string{
+			opJobBody(id, 8, ""),
+			fmt.Sprintf(`{"fleet":%s,"job":{"id":%q,"gpus":8,"iterations":1,"model":{"group":1}}}`, fleetB, id),
+		}
+		codes := make([]int, len(bodies))
+		var wg sync.WaitGroup
+		for i := range bodies {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(bodies[i]))
+				if err != nil {
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				codes[i] = resp.StatusCode
+			}(i)
+		}
+		wg.Wait()
+		ok, conflict := 0, 0
+		for _, c := range codes {
+			switch c {
+			case http.StatusOK:
+				ok++
+			case http.StatusConflict:
+				conflict++
+			}
+		}
+		if ok != 1 || conflict != 1 {
+			t.Fatalf("round %d: concurrent duplicate submits returned %v, want exactly one 200 and one 409", round, codes)
+		}
 	}
 }
 

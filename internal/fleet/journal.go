@@ -210,6 +210,22 @@ func (j *Journal) Seq() uint64 {
 	return j.seq
 }
 
+// SeedSeq raises the journal's sequence floor to seq, so the next
+// append is numbered seq+1. Recovery calls it with a loaded snapshot's
+// Seq: the snapshot truncated the journal, so a restarted process
+// would otherwise number fresh records from 1 — and a later recovery
+// would mistake those acknowledged, fsync'd mutations for ones the
+// snapshot already covers and silently skip them. No-op when the
+// journal is already past seq (it then holds records newer than the
+// snapshot).
+func (j *Journal) SeedSeq(seq uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if seq > j.seq {
+		j.seq = seq
+	}
+}
+
 // Append assigns the next sequence number, writes the record as one
 // compact JSON line, and fsyncs before returning: when Append returns,
 // the mutation survives a crash. The operator validates and applies a

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 
@@ -49,9 +50,10 @@ type Operator struct {
 	sinceSnp  int      // journal records since the last snapshot
 	snapEvery int
 
-	stop chan struct{}
-	wake chan struct{}
-	wg   sync.WaitGroup
+	stop     chan struct{}
+	stopOnce sync.Once // Close and Abort may each run, in any order
+	wake     chan struct{}
+	wg       sync.WaitGroup
 }
 
 // OperatorConfig configures NewOperator.
@@ -122,6 +124,11 @@ func NewOperator(eng *engine.Engine, spec Spec, cfg OperatorConfig) (*Operator, 
 
 	switch {
 	case snap != nil:
+		// The snapshot truncated the journal, so sequence numbering must
+		// resume from the snapshot's Seq — a journal restarted at 1 would
+		// collide with the range the snapshot covers, and the *next*
+		// recovery would silently skip those records.
+		j.SeedSeq(snap.Seq)
 		if err := o.restoreSnapshot(eng, spec, *snap); err != nil {
 			return fail(err)
 		}
@@ -573,10 +580,28 @@ func (o *Operator) tryRetireLocked() error {
 		ids = append(ids, p.JobID)
 	}
 	sort.Strings(ids)
+	// Capture the jobs before retiring: if the retire record cannot be
+	// journaled, the retirement is undone (jobs resubmitted, done
+	// entries dropped) so memory never runs ahead of durable state.
+	jobs := make([]Job, len(ids))
+	for i, id := range ids {
+		job, ok := o.m.jobByID(id)
+		if !ok {
+			return fmt.Errorf("fleet: retiring unknown job %q", id)
+		}
+		jobs[i] = job
+	}
 	if err := o.retireIDs(ids); err != nil {
 		return err
 	}
-	if _, err := o.j.Append(Record{At: now, Kind: RecRetire, IDs: ids}); err != nil {
+	rollback := func() {
+		o.doneIDs = o.doneIDs[:len(o.doneIDs)-len(ids)]
+		for i, id := range ids {
+			delete(o.done, id)
+			_ = o.m.Submit(jobs[i])
+		}
+	}
+	if err := o.journalApplied(Record{At: now, Kind: RecRetire, IDs: ids}, rollback); err != nil {
 		return err
 	}
 	return o.snapshotLocked()
@@ -584,7 +609,11 @@ func (o *Operator) tryRetireLocked() error {
 
 // snapshotLocked cuts a durable snapshot and resets the journal.
 // Write-then-rename keeps a crash from ever leaving a half-written
-// snapshot next to a truncated journal.
+// snapshot next to a truncated journal, and the snapshot (file bytes
+// and directory entry both) is fsync'd before the journal truncates:
+// the journal may only shrink once the state it covered is durable
+// elsewhere. On any failure the journal is left intact, so recovery
+// still replays the full record set.
 func (o *Operator) snapshotLocked() error {
 	snap := FleetSnapshot{
 		Seq:      o.j.Seq(),
@@ -602,10 +631,14 @@ func (o *Operator) snapshotLocked() error {
 		return err
 	}
 	tmp := o.snapPath + ".tmp"
-	if err := os.WriteFile(tmp, doc, 0o644); err != nil {
+	if err := writeFileSync(tmp, doc); err != nil {
 		return err
 	}
 	if err := os.Rename(tmp, o.snapPath); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := syncDir(filepath.Dir(o.snapPath)); err != nil {
 		return err
 	}
 	if err := o.j.Reset(snap.Seq); err != nil {
@@ -615,6 +648,39 @@ func (o *Operator) snapshotLocked() error {
 	return nil
 }
 
+// writeFileSync writes data to path and fsyncs it before closing: a
+// rename may only publish bytes that are already on disk.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(path)
+	}
+	return err
+}
+
+// syncDir fsyncs a directory, making a rename within it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 // Snapshot forces a snapshot now (the loop also cuts them on its own).
 func (o *Operator) Snapshot() error {
 	o.mu.Lock()
@@ -622,11 +688,17 @@ func (o *Operator) Snapshot() error {
 	return o.snapshotLocked()
 }
 
+// stopLoop stops the event loop exactly once; Close and Abort share it
+// so any combination or repetition of the two never double-closes.
+func (o *Operator) stopLoop() {
+	o.stopOnce.Do(func() { close(o.stop) })
+	o.wg.Wait()
+}
+
 // Close retires what it can, cuts a final snapshot, and closes the
 // journal. The operator is unusable afterwards.
 func (o *Operator) Close() error {
-	close(o.stop)
-	o.wg.Wait()
+	o.stopLoop()
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	_ = o.tryRetireLocked()
@@ -641,8 +713,7 @@ func (o *Operator) Close() error {
 // and the journal closes with no retirement and no snapshot — exactly
 // the state a kill -9 leaves behind (minus any torn tail).
 func (o *Operator) Abort() error {
-	close(o.stop)
-	o.wg.Wait()
+	o.stopLoop()
 	return o.j.Close()
 }
 

@@ -317,6 +317,103 @@ func TestOperatorRejectsForeignState(t *testing.T) {
 	}
 }
 
+// TestOperatorJournalSeqSeededFromSnapshot: a snapshot truncates the
+// journal, so a restarted operator must resume sequence numbering from
+// the snapshot's Seq. Regression: when the restarted journal numbered
+// from 1, mutations acknowledged after the restart fell into the range
+// the snapshot covers, and the *next* recovery silently skipped them —
+// losing fsync'd, acknowledged work.
+func TestOperatorJournalSeqSeededFromSnapshot(t *testing.T) {
+	eng := engine.New(engine.Config{})
+	dir := t.TempDir()
+
+	op := testOp(t, eng, dir, NewFakeClock(), 100000)
+	must(t, op.Submit(Job{ID: "a", GPUs: 8, Iterations: 1, Model: pg1()}))
+	must(t, op.Submit(Job{ID: "b", GPUs: 8, Iterations: 1, Model: pg1()}))
+	must(t, op.Snapshot()) // covers seq 1..3, journal truncated
+	snapSeq := op.j.Seq()
+	must(t, op.Abort()) // crash: empty journal next to the snapshot
+
+	op = testOp(t, eng, dir, NewFakeClock(), 100000)
+	must(t, op.Submit(Job{ID: "c", GPUs: 8, Iterations: 1, Model: pg1()}))
+	if seq := op.j.Seq(); seq <= snapSeq {
+		t.Fatalf("journal seq %d after recovery, must continue past the snapshot's %d", seq, snapSeq)
+	}
+	must(t, op.Abort()) // second crash, this time with a journaled suffix
+
+	op = testOp(t, eng, dir, NewFakeClock(), 100000)
+	defer op.Abort()
+	if !op.Has("c") {
+		t.Fatal("acknowledged post-snapshot submit lost by the second recovery")
+	}
+	if op.Len() != 3 {
+		t.Fatalf("recovered %d live jobs, want 3", op.Len())
+	}
+}
+
+// TestOperatorRetireRollsBackOnJournalFailure: when the retire record
+// cannot be journaled, the in-memory retirement must be undone — jobs
+// back in the live set, done map untouched — so memory never runs
+// ahead of durable state.
+func TestOperatorRetireRollsBackOnJournalFailure(t *testing.T) {
+	eng := engine.New(engine.Config{})
+	dir := t.TempDir()
+	clock := NewFakeClock()
+	op := testOp(t, eng, dir, clock, 100000)
+	must(t, op.Submit(Job{ID: "a", GPUs: 8, Iterations: 1, Model: pg1()}))
+	must(t, op.j.Close()) // every append now fails
+	at(op, clock, 5000)   // past the finish edge: idle barrier reached
+
+	op.mu.Lock()
+	err := op.tryRetireLocked()
+	op.mu.Unlock()
+	if err == nil {
+		t.Fatal("retirement must surface the journal failure")
+	}
+	if op.Len() != 1 {
+		t.Fatalf("%d live jobs after failed retirement, want the rollback to restore 1", op.Len())
+	}
+	if done := op.Done(); len(done) != 0 {
+		t.Fatalf("done set %v after failed retirement, want empty", done)
+	}
+	must(t, op.Abort())
+}
+
+// TestOperatorSnapshotFailureKeepsJournal: a snapshot that cannot be
+// published must leave the journal intact, so recovery still replays
+// the full record set.
+func TestOperatorSnapshotFailureKeepsJournal(t *testing.T) {
+	eng := engine.New(engine.Config{})
+	dir := t.TempDir()
+	op := testOp(t, eng, dir, NewFakeClock(), 100000)
+	must(t, op.Submit(Job{ID: "a", GPUs: 8, Iterations: 1, Model: pg1()}))
+	op.mu.Lock()
+	op.snapPath = filepath.Join(dir, "missing", "fleet.snap") // unpublishable
+	op.mu.Unlock()
+	if err := op.Snapshot(); err == nil {
+		t.Fatal("snapshot into a missing directory must fail")
+	}
+	must(t, op.Abort())
+
+	rec := testOp(t, eng, dir, NewFakeClock(), 100000)
+	defer rec.Abort()
+	if !rec.Has("a") {
+		t.Fatal("failed snapshot truncated the journal: the submit did not survive")
+	}
+}
+
+// TestOperatorCloseAbortIdempotent: Close and Abort in any combination
+// or repetition must never panic on the stop channel.
+func TestOperatorCloseAbortIdempotent(t *testing.T) {
+	eng := engine.New(engine.Config{})
+	op := testOp(t, eng, t.TempDir(), NewFakeClock(), 1000)
+	must(t, op.Close())
+	if err := op.Abort(); err != nil {
+		t.Fatalf("abort after close: %v", err)
+	}
+	_ = op.Close() // may report the closed journal, must not panic
+}
+
 // TestOperatorEventLoopRetires proves the wall-clock driver itself (no
 // manual ticks) wakes at the finish edge and retires: the loop's
 // After(edge) wiring, not the test, drives the transition.
