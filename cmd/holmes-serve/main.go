@@ -21,6 +21,13 @@
 // from its journal and resumes scheduling bit-identically to a process
 // that never died.
 //
+// The daemon is observable live: GET / serves an embedded dashboard
+// (go:embed, zero build step — fleet timeline, topology health,
+// endpoint latency) and GET /v1/events streams operator transitions as
+// Server-Sent Events. Both ride outside admission, so they keep
+// answering while the server is saturated. -dashboard=false unmounts
+// the page (the stream stays).
+//
 // Usage:
 //
 //	holmes-serve -addr :8080
@@ -31,6 +38,7 @@
 //
 //	curl -s localhost:8080/healthz
 //	curl -s localhost:8080/v1/stats
+//	curl -sN localhost:8080/v1/events   # SSE stream; open / in a browser for the dashboard
 //	curl -s localhost:8080/v1/plan \
 //	  -d '{"env":"Hybrid","nodes":8,"model":{"group":3},"tensor_size":1,"pipeline_size":4}'
 //	curl -s localhost:8080/v1/search -d '{"env":"Hybrid","nodes":8,"model":{"group":3}}'
@@ -119,6 +127,7 @@ func main() {
 		operator = flag.Bool("operator", false, "run /v1/jobs as an always-on durable fleet operator: wall-clock submits, auto-retirement, journaled crash recovery (requires -journal-dir)")
 		jdir     = flag.String("journal-dir", "", "directory for per-fleet journals and snapshots (operator mode); existing journals are recovered at boot")
 		policy   = flag.String("fleet-policy", "", "default scheduling policy for freshly created fleets: "+strings.Join(fleet.PolicyNames(), ", ")+" (default "+fleet.DefaultPolicy+")")
+		dash     = flag.Bool("dashboard", true, "serve the embedded live dashboard at / (admission-exempt, no build step)")
 	)
 	flag.Parse()
 	if *policy != "" {
@@ -142,6 +151,7 @@ func main() {
 	})
 	apiSrv := api.NewServerPool(pool)
 	apiSrv.EnablePprof(*pprofOn)
+	apiSrv.EnableDashboard(*dash)
 	if *operator {
 		recovered, err := apiSrv.EnableOperator(api.OperatorMode{JournalDir: *jdir, Policy: *policy})
 		if err != nil {
@@ -193,6 +203,9 @@ func main() {
 	// snapshotted so the next boot starts warm.
 	log.Printf("holmes-serve: signal received, draining (timeout %s)", *drain)
 	apiSrv.SetDraining(true)
+	// End every /v1/events stream in-band (event: eof) so open SSE
+	// connections don't pin srv.Shutdown to the drain deadline.
+	apiSrv.Events().Close()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

@@ -58,6 +58,7 @@ import (
 	"holmes/internal/config"
 	"holmes/internal/core"
 	"holmes/internal/engine"
+	"holmes/internal/events"
 	"holmes/internal/experiments"
 	"holmes/internal/fleet"
 	"holmes/internal/model"
@@ -149,6 +150,16 @@ type (
 	// FleetJobStatus is one job's operator-eye view: placement plus
 	// wall-clock state (queued / running / done / unplaced).
 	FleetJobStatus = fleet.JobStatus
+	// EventHub is the bounded pub/sub hub behind GET /v1/events: the
+	// operator publishes job transitions, scenario edges, and policy
+	// changes into it strictly after the journal fsync, and slow
+	// subscribers are evicted rather than ever blocking a publisher.
+	EventHub = events.Hub
+	// Event is one fact on the hub: a sequenced, wall-stamped job /
+	// scenario / policy / retire occurrence.
+	Event = events.Event
+	// EventSubscriber is one bounded subscription to an EventHub.
+	EventSubscriber = events.Subscriber
 )
 
 // NIC technologies.
@@ -346,6 +357,11 @@ func NewFleetOperator(eng *Engine, spec FleetSpec, cfg FleetOperatorConfig) (*Fl
 // (fifo, priority, edf, fair).
 func FleetPolicies() []string { return fleet.PolicyNames() }
 
+// NewEventHub builds the bounded pub/sub hub an operator publishes
+// into (pass it as FleetOperatorConfig.Events, or let the serve API
+// own one and stream it at GET /v1/events).
+func NewEventHub() *EventHub { return events.NewHub() }
+
 // RunExperiment regenerates a paper table or figure by id: "table1",
 // "table3", "table4", "fig4", "fig5", "fig6", "fig7", plus the
 // beyond-paper "scenarios" and "fleet" grids.
@@ -366,7 +382,7 @@ func Experiments() []string { return append([]string(nil), experiments.Names...)
 func DefaultOptions(fw Framework) Options { return trainer.DefaultOptions(fw) }
 
 // Version identifies the reproduction release.
-const Version = "1.3.0"
+const Version = "1.4.0"
 
 // Describe renders a short summary of a topology (clusters, NICs, GPUs).
 func Describe(topo *Topology) string {

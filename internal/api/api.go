@@ -8,8 +8,10 @@
 //
 // Routes:
 //
+//	GET  /                     embedded live dashboard (go:embed, no build step)
 //	GET  /healthz              liveness + engine cache statistics + serving counters
 //	GET  /v1/stats             per-endpoint latency/throughput counters
+//	GET  /v1/events            live event stream (Server-Sent Events)
 //	POST /v1/plan              plan fixed (t, p) degrees
 //	POST /v1/plan/batch        up to 256 heterogeneous plan/search/simulate items
 //	POST /v1/search            joint (t, p) search for the best plan
@@ -39,25 +41,34 @@ import (
 
 	"holmes/internal/config"
 	"holmes/internal/core"
+	"holmes/internal/dashboard"
 	"holmes/internal/engine"
+	"holmes/internal/events"
 	"holmes/internal/experiments"
 	"holmes/internal/serve"
 	"holmes/internal/trainer"
 )
 
 // Version identifies the API release (mirrors the facade version).
-const Version = "1.5.0"
+const Version = "1.6.0"
 
 // Server serves the Holmes planning API on a pool of engine shards.
 type Server struct {
 	pool   *serve.Pool
 	fleets fleetRegistry
+	// events is the live-observability hub: operators publish into it,
+	// /v1/events streams it. Owned by the server for its whole life.
+	events *events.Hub
 	// draining answers 429 on every admission-gated route while the
 	// process drains in-flight work before shutdown (SetDraining).
 	draining atomic.Bool
 	// pprofEnabled mounts net/http/pprof under /debug/pprof/ (EnablePprof;
 	// must be set before Handler is called).
 	pprofEnabled bool
+	// dashboardEnabled mounts the embedded dashboard at / and /static/
+	// (EnableDashboard; must be set before Handler is called). On by
+	// default: the dashboard is static bytes with zero cost when unused.
+	dashboardEnabled bool
 }
 
 // NewServer returns a single-shard server on the given engine (nil = the
@@ -73,13 +84,17 @@ func NewServerPool(p *serve.Pool) *Server {
 	if p == nil {
 		p = serve.New(serve.Config{})
 	}
-	s := &Server{pool: p}
+	s := &Server{pool: p, events: events.NewHub(), dashboardEnabled: true}
 	s.fleets.init()
 	return s
 }
 
 // Pool exposes the server's shard pool (observability and tests).
 func (s *Server) Pool() *serve.Pool { return s.pool }
+
+// Events exposes the live event hub (operators publish into it; the
+// shutdown path closes it to release every streaming client).
+func (s *Server) Events() *events.Hub { return s.events }
 
 // Handler returns the route table. Routes are registered without method
 // patterns and checked in the instrumentation wrapper, so a wrong method
@@ -89,6 +104,14 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.route(epHealthz, http.MethodGet, false, s.handleHealthz))
 	mux.HandleFunc("/v1/stats", s.route(epStats, http.MethodGet, false, s.handleStats))
+	// The event stream and the dashboard are observability surfaces:
+	// admission-exempt like healthz/stats, because a saturated or
+	// draining server is exactly what they exist to show.
+	mux.HandleFunc("/v1/events", s.route(epEvents, http.MethodGet, false, s.handleEvents))
+	if s.dashboardEnabled {
+		mux.HandleFunc("/{$}", s.route(epDashboard, http.MethodGet, false, s.handleDashboardIndex))
+		mux.HandleFunc("/static/", s.route(epDashboard, http.MethodGet, false, s.handleDashboardAsset))
+	}
 	mux.HandleFunc("/v1/plan", s.route(epPlan, http.MethodPost, true, s.handlePlan))
 	mux.HandleFunc("/v1/plan/batch", s.route(epBatch, http.MethodPost, true, s.handleBatch))
 	mux.HandleFunc("/v1/search", s.route(epSearch, http.MethodPost, true, s.handleSearch))
@@ -120,6 +143,37 @@ func (s *Server) Handler() http.Handler {
 // detail and belong behind an explicit operator flag.
 func (s *Server) EnablePprof(on bool) { s.pprofEnabled = on }
 
+// EnableDashboard controls whether the next Handler call mounts the
+// embedded dashboard at / and /static/. On by default; an API-only
+// deployment turns it off and / answers the JSON 404 like any other
+// unknown path.
+func (s *Server) EnableDashboard(on bool) { s.dashboardEnabled = on }
+
+// handleDashboardIndex serves the embedded dashboard page at exactly /.
+func (s *Server) handleDashboardIndex(w http.ResponseWriter, r *http.Request) {
+	body, ctype, ok := dashboard.Asset("static/index.html")
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "dashboard index missing from embedded assets")
+		return
+	}
+	w.Header().Set("Content-Type", ctype)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// handleDashboardAsset serves the embedded /static/ files. Misses
+// answer the API's JSON 404, keeping the every-error-is-JSON contract.
+func (s *Server) handleDashboardAsset(w http.ResponseWriter, r *http.Request) {
+	body, ctype, ok := dashboard.Asset(strings.TrimPrefix(r.URL.Path, "/"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such asset: %s", r.URL.Path)
+		return
+	}
+	w.Header().Set("Content-Type", ctype)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
 // SetDraining flips drain mode: while draining, every admission-gated
 // route answers 429 with Retry-After so load balancers move new work to
 // other replicas, while in-flight requests (and the observability
@@ -141,6 +195,8 @@ const (
 	epExperiments = "experiments"
 	epJobs        = "jobs"
 	epJob         = "job"
+	epEvents      = "events"
+	epDashboard   = "dashboard"
 )
 
 // statusWriter records the status a handler wrote so the stats layer can
@@ -154,6 +210,10 @@ func (w *statusWriter) WriteHeader(status int) {
 	w.status = status
 	w.ResponseWriter.WriteHeader(status)
 }
+
+// Unwrap lets http.NewResponseController reach the underlying writer's
+// Flusher — the SSE handler streams through this wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // route wraps a handler with method enforcement, admission control, and
 // per-endpoint accounting. Observability routes (healthz, stats) skip
@@ -269,6 +329,7 @@ type HealthResponse struct {
 	Responses   serve.ResponseCacheStats `json:"responses"`
 	Search      engine.SearchStats       `json:"search"`
 	Serve       serve.StatsSnapshot      `json:"serve"`
+	Events      events.HubStats          `json:"events"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -282,6 +343,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Responses:   s.pool.ResponseCacheStats(),
 		Search:      s.pool.SearchStats(),
 		Serve:       s.pool.Stats().Snapshot(),
+		Events:      s.events.Stats(),
 	})
 }
 
@@ -303,6 +365,7 @@ type StatsResponse struct {
 	Responses serve.ResponseCacheStats `json:"responses"`
 	Search    engine.SearchStats       `json:"search"`
 	Serve     serve.StatsSnapshot      `json:"serve"`
+	Events    events.HubStats          `json:"events"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -319,6 +382,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Responses: s.pool.ResponseCacheStats(),
 		Search:    s.pool.SearchStats(),
 		Serve:     s.pool.Stats().Snapshot(),
+		Events:    s.events.Stats(),
 	})
 }
 

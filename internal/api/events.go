@@ -1,0 +1,88 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// GET /v1/events is the push half of the observability surface: the
+// operator's live event hub streamed as Server-Sent Events. Like
+// /healthz and /v1/stats it rides outside admission — watching a
+// saturated server is exactly when the stream matters — and it never
+// costs the publishers anything: each connection owns one bounded hub
+// subscription, and a client that stops reading long enough to fill
+// it is disconnected (event: eof), not buffered without bound.
+//
+// Frames carry the hub sequence as the SSE id, the event kind as the
+// SSE event name, and the events.Event JSON as data:
+//
+//	id: 7
+//	event: job
+//	data: {"seq":7,"at":42.5,"kind":"job","fleet":"…","job":"w1","state":"running"}
+//
+// ?fleet=<fingerprint> narrows the stream to one fleet.
+
+// heartbeatEvery paces SSE keep-alive comments: often enough that
+// idle connections survive proxy idle timeouts, rare enough to be
+// free. Heartbeats also surface dead clients — the write fails and
+// the handler releases the subscription.
+const heartbeatEvery = 15 * time.Second
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	rc := http.NewResponseController(w)
+	fleetFilter := r.URL.Query().Get("fleet")
+	sub := s.events.Subscribe(0)
+	defer sub.Close()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // proxies must not buffer the stream
+	w.WriteHeader(http.StatusOK)
+	// The retry hint doubles as the first flushed bytes, so clients
+	// (and tests) observe the stream is live before any event fires.
+	fmt.Fprint(w, "retry: 2000\n\n")
+	if err := rc.Flush(); err != nil {
+		return
+	}
+
+	heartbeat := time.NewTicker(heartbeatEvery)
+	defer heartbeat.Stop()
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return // client went away; Close above frees the slot
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": ping\n\n"); err != nil {
+				return
+			}
+			if err := rc.Flush(); err != nil {
+				return
+			}
+		case ev, ok := <-sub.Events():
+			if !ok {
+				// Evicted for falling behind, or the hub shut down.
+				// Say goodbye in-band so the client can tell a cut
+				// stream from a dead server.
+				fmt.Fprint(w, "event: eof\ndata: {\"reason\":\"stream closed\"}\n\n")
+				return
+			}
+			if fleetFilter != "" && ev.Fleet != fleetFilter {
+				continue
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue // a plain data struct; cannot happen
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Kind, data); err != nil {
+				return
+			}
+			if err := rc.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,307 @@
+package api
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"holmes/internal/events"
+	"holmes/internal/fleet"
+	"holmes/internal/serve"
+)
+
+// sseFrame is one parsed Server-Sent Event.
+type sseFrame struct {
+	event string
+	data  string
+}
+
+// openSSE connects to an SSE endpoint and parses frames into a channel
+// on a background goroutine. The returned cancel aborts the request
+// (simulating a client that went away); the channel closes when the
+// server ends the stream or the connection drops.
+func openSSE(t *testing.T, url string) (<-chan sseFrame, context.CancelFunc) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("SSE connect: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		resp.Body.Close()
+		t.Fatalf("SSE content-type %q", ct)
+	}
+	frames := make(chan sseFrame, 256)
+	go func() {
+		defer close(frames)
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		var cur sseFrame
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				cur.event = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				cur.data = strings.TrimPrefix(line, "data: ")
+			case line == "" && (cur.event != "" || cur.data != ""):
+				frames <- cur
+				cur = sseFrame{}
+			}
+		}
+	}()
+	t.Cleanup(cancel)
+	return frames, cancel
+}
+
+// nextFrame reads one frame with a deadline, skipping heartbeats (which
+// carry no event name).
+func nextFrame(t *testing.T, frames <-chan sseFrame, what string) (sseFrame, bool) {
+	t.Helper()
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case f, ok := <-frames:
+			if !ok {
+				return sseFrame{}, false
+			}
+			if f.event == "" {
+				continue
+			}
+			return f, true
+		case <-deadline:
+			t.Fatalf("timed out waiting for %s", what)
+		}
+	}
+}
+
+// TestEventsStreamOperatorTransitions: a subscriber watching /v1/events
+// sees a submitted job's full life — queued, running, done, retire — in
+// order, with the events.Event JSON shape on the wire.
+func TestEventsStreamOperatorTransitions(t *testing.T) {
+	pool := serve.New(serve.Config{})
+	clock := fleet.NewFakeClock()
+	_, srv := newOperatorServer(t, pool, t.TempDir(), clock)
+
+	frames, _ := openSSE(t, srv.URL+"/v1/events")
+
+	code, body := post(t, srv, "/v1/jobs", opJobBody("alpha", 16, ""))
+	if code != http.StatusOK {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var jr JobResponse
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatal(err)
+	}
+
+	// Walk the wall clock past the placement's finish; the operator's
+	// own loop wakes on the clock edge, retires the job, and the stream
+	// must carry every transition in order.
+	clock.Advance(jr.Placement.Finish + 1)
+
+	wantStates := []string{"queued", "running", "done"}
+	var seq uint64
+	for _, want := range wantStates {
+		f, ok := nextFrame(t, frames, "job state "+want)
+		if !ok {
+			t.Fatalf("stream closed before state %q", want)
+		}
+		if f.event != "job" {
+			t.Fatalf("event %q (data %s), want job/%s", f.event, f.data, want)
+		}
+		var ev events.Event
+		if err := json.Unmarshal([]byte(f.data), &ev); err != nil {
+			t.Fatalf("bad event JSON %q: %v", f.data, err)
+		}
+		if ev.Job != "alpha" || ev.State != want {
+			t.Fatalf("event %+v, want alpha/%s", ev, want)
+		}
+		if ev.Seq <= seq {
+			t.Fatalf("seq went backwards: %d after %d", ev.Seq, seq)
+		}
+		seq = ev.Seq
+	}
+	f, ok := nextFrame(t, frames, "retire event")
+	if !ok {
+		t.Fatal("stream closed before the retire event")
+	}
+	if f.event != "retire" {
+		t.Fatalf("event %q (data %s), want retire", f.event, f.data)
+	}
+	var ev events.Event
+	if err := json.Unmarshal([]byte(f.data), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Jobs) != 1 || ev.Jobs[0] != "alpha" {
+		t.Fatalf("retire event %+v, want jobs [alpha]", ev)
+	}
+}
+
+// TestEventsClientAbortFreesSubscriber: a client that disconnects
+// mid-stream must release its hub slot — no goroutine parked forever,
+// no subscriber leak (run under -race to catch both).
+func TestEventsClientAbortFreesSubscriber(t *testing.T) {
+	pool := serve.New(serve.Config{})
+	s, srv := newOperatorServer(t, pool, t.TempDir(), fleet.NewFakeClock())
+
+	_, cancel := openSSE(t, srv.URL+"/v1/events")
+	waitSubscribers(t, s.events, 1, "after connect")
+	cancel()
+	waitSubscribers(t, s.events, 0, "after client abort")
+}
+
+// TestEventsHubCloseEndsStream: closing the hub (the shutdown path)
+// ends every stream with an in-band eof frame, so clients can tell a
+// deliberate close from a dropped connection.
+func TestEventsHubCloseEndsStream(t *testing.T) {
+	pool := serve.New(serve.Config{})
+	s := NewServerPool(pool)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+
+	frames, _ := openSSE(t, srv.URL+"/v1/events")
+	waitSubscribers(t, s.events, 1, "after connect")
+	s.Events().Close()
+	f, ok := nextFrame(t, frames, "eof frame")
+	if !ok {
+		t.Fatal("stream closed without an eof frame")
+	}
+	if f.event != "eof" || !strings.Contains(f.data, "stream closed") {
+		t.Fatalf("final frame %+v, want eof", f)
+	}
+	if _, open := <-frames; open {
+		t.Fatal("frames after eof")
+	}
+}
+
+func waitSubscribers(t *testing.T, hub *events.Hub, want int, when string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for hub.Stats().Subscribers != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: %d subscribers, want %d", when, hub.Stats().Subscribers, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestEventsAndDashboardAdmissionExempt: with the admission gate
+// saturated, planning sheds 429 but the observability surface — the
+// event stream and the dashboard — keeps answering. Watching a
+// saturated server is exactly when they matter.
+func TestEventsAndDashboardAdmissionExempt(t *testing.T) {
+	pool := serve.New(serve.Config{MaxInFlight: 1, MaxQueue: -1})
+	srv := newPoolServer(t, pool)
+	release, ok := pool.Admit(context.Background())
+	if !ok {
+		t.Fatal("could not occupy the admission slot")
+	}
+	defer release()
+
+	if code, _ := post(t, srv, "/v1/plan", planBody); code != http.StatusTooManyRequests {
+		t.Fatalf("plan under saturation: %d, want 429", code)
+	}
+	// The stream connects and serves its retry preamble while saturated.
+	frames, cancel := openSSE(t, srv.URL+"/v1/events")
+	cancel()
+	for range frames {
+	}
+	// The dashboard answers too.
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dashboard under saturation: %d", resp.StatusCode)
+	}
+}
+
+// TestDashboardAssets: the embedded dashboard serves the page at the
+// exact root, its static assets under /static/, and keeps the JSON
+// error contract on misses.
+func TestDashboardAssets(t *testing.T) {
+	srv := newTestServer(t)
+
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("GET / content-type %q", ct)
+	}
+	if !strings.Contains(string(page), "<html") || !strings.Contains(string(page), "app.js") {
+		t.Fatalf("GET / body does not look like the dashboard: %.120s", page)
+	}
+
+	for path, wantCT := range map[string]string{
+		"/static/app.js":    "text/javascript",
+		"/static/style.css": "text/css",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || !strings.HasPrefix(resp.Header.Get("Content-Type"), wantCT) {
+			t.Fatalf("GET %s: %d %q", path, resp.StatusCode, resp.Header.Get("Content-Type"))
+		}
+	}
+
+	// A miss keeps the API's JSON error shape.
+	code, body := do(t, http.MethodGet, srv.URL+"/static/nope.js", "")
+	if code != http.StatusNotFound || !strings.Contains(string(body), `"error"`) {
+		t.Fatalf("GET /static/nope.js: %d %s", code, body)
+	}
+	// The exact-root pattern must not swallow unknown paths.
+	if code, _ := do(t, http.MethodGet, srv.URL+"/nope", ""); code != http.StatusNotFound {
+		t.Fatalf("GET /nope: %d, want 404", code)
+	}
+}
+
+// TestStatsCarriesHubCounters: /v1/stats and /healthz expose the event
+// hub's live counters.
+func TestStatsCarriesHubCounters(t *testing.T) {
+	pool := serve.New(serve.Config{})
+	s, srv := newOperatorServer(t, pool, t.TempDir(), fleet.NewFakeClock())
+
+	_, cancel := openSSE(t, srv.URL+"/v1/events")
+	defer cancel()
+	waitSubscribers(t, s.events, 1, "after connect")
+
+	var st StatsResponse
+	getJSON(t, srv, "/v1/stats", &st)
+	if st.Events.Subscribers != 1 {
+		t.Fatalf("stats events: %+v, want 1 subscriber", st.Events)
+	}
+	code, body := post(t, srv, "/v1/jobs", opJobBody("counted", 8, ""))
+	if code != http.StatusOK {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	getJSON(t, srv, "/v1/stats", &st)
+	if st.Events.Published == 0 {
+		t.Fatalf("stats events after a submit: %+v, want published > 0", st.Events)
+	}
+}

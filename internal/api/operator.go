@@ -95,6 +95,7 @@ func (s *Server) EnableOperator(mode OperatorMode) (int, error) {
 			Clock:         mode.Clock,
 			Journal:       path,
 			SnapshotEvery: mode.SnapshotEvery,
+			Events:        s.events,
 		})
 		if err != nil {
 			return recovered, fmt.Errorf("api: recovering %s: %w", path, err)
@@ -184,6 +185,7 @@ func (s *Server) operatorFor(fp string, spec fleet.Spec, policy string) (*fleet.
 		Journal:       filepath.Join(fr.mode.JournalDir, journalName(fp)),
 		Policy:        policy,
 		SnapshotEvery: fr.mode.SnapshotEvery,
+		Events:        s.events,
 	})
 	if err != nil {
 		return nil, errf(http.StatusBadRequest, "jobs: %v", err)

@@ -1,0 +1,41 @@
+// Package dashboard embeds the holmes-serve live dashboard: a
+// zero-build-step web page (plain HTML/CSS/JS, no bundler, no node)
+// compiled into the binary with go:embed and mounted by internal/api
+// at / and /static/. It renders what the JSON surface already knows —
+// fleet Gantt and utilization from /v1/jobs, per-endpoint latency and
+// throughput from /v1/stats, topology health and scenario playback
+// from the /v1/events stream.
+package dashboard
+
+import (
+	"embed"
+	"path"
+)
+
+//go:embed static
+var assets embed.FS
+
+// contentTypes maps the embedded extensions; everything the dashboard
+// ships is one of these, so a lookup miss means a caller bug, not a
+// client request we must guess at.
+var contentTypes = map[string]string{
+	".html": "text/html; charset=utf-8",
+	".css":  "text/css; charset=utf-8",
+	".js":   "text/javascript; charset=utf-8",
+	".svg":  "image/svg+xml",
+}
+
+// Asset returns one embedded file by its full embedded path (e.g.
+// "static/app.js") with its Content-Type; ok=false on a miss. The API
+// layer owns the HTTP error shape, so misses return rather than write.
+func Asset(name string) (body []byte, contentType string, ok bool) {
+	b, err := assets.ReadFile(name)
+	if err != nil {
+		return nil, "", false
+	}
+	ct, known := contentTypes[path.Ext(name)]
+	if !known {
+		ct = "application/octet-stream"
+	}
+	return b, ct, true
+}

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"holmes/internal/engine"
+	"holmes/internal/events"
 	"holmes/internal/scenario"
 	"holmes/internal/topology"
 )
@@ -50,6 +51,16 @@ type Operator struct {
 	sinceSnp  int      // journal records since the last snapshot
 	snapEvery int
 
+	// Live-observability state (nil hub = publishing disabled). Events
+	// mirror journal records post-append (DESIGN.md decision 14) and
+	// derived transitions are diffed against lastState so each one is
+	// published exactly once; edgeHorizon marks how far into the
+	// scenario timeline "fired" edges have been announced.
+	events      *events.Hub
+	fp          string            // topology fingerprint, the stream's fleet label
+	lastState   map[string]string // job ID -> last published state
+	edgeHorizon float64
+
 	stop     chan struct{}
 	stopOnce sync.Once // Close and Abort may each run, in any order
 	wake     chan struct{}
@@ -71,6 +82,13 @@ type OperatorConfig struct {
 	// SnapshotEvery bounds journal growth: a snapshot is cut after
 	// this many records (default 64; retirement always snapshots).
 	SnapshotEvery int
+	// Events, when set, receives the operator's live event stream: job
+	// transitions, scenario edges, policy changes, retirements. Every
+	// event is published strictly after the journal record that made
+	// the change durable, so the stream can never show a state a crash
+	// would un-happen. Recovery replay publishes nothing — the stream
+	// carries only what changes after the hub is attached.
+	Events *events.Hub
 }
 
 // NewOperator opens (or recovers) the fleet at cfg.Journal. A fresh
@@ -167,9 +185,31 @@ func NewOperator(eng *engine.Engine, spec Spec, cfg OperatorConfig) (*Operator, 
 		}
 	}
 
+	if cfg.Events != nil {
+		o.primeEvents(cfg.Events)
+	}
+
 	o.wg.Add(1)
 	go o.loop()
 	return o, nil
+}
+
+// primeEvents attaches the hub and initializes publishing state
+// without emitting anything: recovery replay is history the stream's
+// subscribers either already saw or never asked for, so the diff
+// baseline starts at the recovered present. Runs before the loop
+// starts, so no lock is needed.
+func (o *Operator) primeEvents(hub *events.Hub) {
+	o.events = hub
+	o.fp = o.m.Topology().Fingerprint()
+	o.lastState = make(map[string]string)
+	now := o.now()
+	if sched, err := o.m.Schedule(); err == nil {
+		for _, p := range sched.Jobs {
+			o.lastState[p.JobID] = placementState(p, now)
+		}
+	}
+	o.edgeHorizon = now
 }
 
 func specEqual(a, b Spec) bool {
@@ -317,14 +357,87 @@ func (o *Operator) kick() {
 
 // journalApplied journals one already-applied mutation and rolls it
 // back when the journal refuses: a mutation is acknowledged only once
-// durable. Callers hold o.mu.
-func (o *Operator) journalApplied(rec Record, rollback func()) error {
-	if _, err := o.j.Append(rec); err != nil {
+// durable. Returns the record's journal sequence so the caller can
+// publish the matching event (events only ever follow the append —
+// DESIGN.md decision 14). Callers hold o.mu.
+func (o *Operator) journalApplied(rec Record, rollback func()) (uint64, error) {
+	seq, err := o.j.Append(rec)
+	if err != nil {
 		rollback()
-		return fmt.Errorf("fleet: journal append: %w", err)
+		return 0, fmt.Errorf("fleet: journal append: %w", err)
 	}
 	o.sinceSnp++
-	return nil
+	return seq, nil
+}
+
+// publish stamps the event with the fleet label and hands it to the
+// hub, if one is attached. Callers hold o.mu; the hub never blocks
+// (slow subscribers are evicted), so publishing under the operator
+// lock is safe.
+func (o *Operator) publish(ev events.Event) {
+	if o.events == nil {
+		return
+	}
+	ev.Fleet = o.fp
+	o.events.Publish(ev)
+}
+
+// publishLocked diffs the live schedule against the last published
+// job states and emits every transition wall time has made true, each
+// stamped with the deterministic schedule edge that caused it (start
+// for running, finish for done) rather than the instant the loop
+// happened to observe it — which is what makes a scripted fleet's
+// stream reproducible. Scenario edges the clock has crossed since the
+// last scan are announced the same way, stamped with the edge's own
+// instant. Events sort by (At, Kind, Job) so equal-instant batches
+// have one canonical order. Callers hold o.mu.
+func (o *Operator) publishLocked() {
+	if o.events == nil {
+		return
+	}
+	sched, err := o.m.Schedule()
+	if err != nil {
+		return
+	}
+	now := o.now()
+	var evs []events.Event
+	for _, p := range sched.Jobs {
+		st := placementState(p, now)
+		if o.lastState[p.JobID] == st {
+			continue
+		}
+		o.lastState[p.JobID] = st
+		at := now
+		switch st {
+		case "running":
+			at = p.Start
+		case "done":
+			at = p.Finish
+		}
+		evs = append(evs, events.Event{At: at, Kind: events.KindJob, Job: p.JobID, State: st})
+	}
+	if sc := o.m.Scenario(); sc != nil {
+		for _, ev := range sc.Events {
+			if ev.At > o.edgeHorizon && ev.At <= now {
+				evs = append(evs, events.Event{At: ev.At, Kind: events.KindScenario, State: "fired", Payload: ev})
+			}
+		}
+	}
+	if now > o.edgeHorizon {
+		o.edgeHorizon = now
+	}
+	sort.Slice(evs, func(a, b int) bool {
+		if evs[a].At != evs[b].At {
+			return evs[a].At < evs[b].At
+		}
+		if evs[a].Kind != evs[b].Kind {
+			return evs[a].Kind < evs[b].Kind
+		}
+		return evs[a].Job < evs[b].Job
+	})
+	for _, ev := range evs {
+		o.publish(ev)
+	}
 }
 
 // Submit admits one job. A zero Submit is stamped with the operator's
@@ -345,8 +458,17 @@ func (o *Operator) Submit(j Job) error {
 	if err := o.m.Submit(j); err != nil {
 		return err
 	}
-	if err := o.journalApplied(Record{At: at, Kind: RecSubmit, Job: &j}, func() { o.m.Cancel(j.ID) }); err != nil {
+	seq, err := o.journalApplied(Record{At: at, Kind: RecSubmit, Job: &j}, func() { o.m.Cancel(j.ID) })
+	if err != nil {
 		return err
+	}
+	if o.events != nil {
+		// Every admitted job enters the stream as "queued" (even one
+		// whose start edge has already passed — the scan below follows
+		// up with the later states at their own edges).
+		o.lastState[j.ID] = "queued"
+		o.publish(events.Event{At: at, Kind: events.KindJob, Job: j.ID, State: "queued", JournalSeq: seq})
+		o.publishLocked()
 	}
 	o.kick()
 	return nil
@@ -363,9 +485,15 @@ func (o *Operator) Cancel(id string) (bool, error) {
 	if !o.m.Cancel(id) {
 		return false, nil
 	}
-	err := o.journalApplied(Record{At: o.now(), Kind: RecCancel, ID: id}, func() { _ = o.m.Submit(job) })
+	at := o.now()
+	seq, err := o.journalApplied(Record{At: at, Kind: RecCancel, ID: id}, func() { _ = o.m.Submit(job) })
 	if err != nil {
 		return false, err
+	}
+	if o.events != nil {
+		delete(o.lastState, id)
+		o.publish(events.Event{At: at, Kind: events.KindJob, Job: id, State: "canceled", JournalSeq: seq})
+		o.publishLocked() // survivors may have replanned onto new edges
 	}
 	o.kick()
 	return true, nil
@@ -384,9 +512,13 @@ func (o *Operator) ApplyEvent(ev scenario.Event) error {
 	if err := o.m.ApplyEvent(ev); err != nil {
 		return err
 	}
-	err := o.journalApplied(Record{At: at, Kind: RecApplyEvent, Event: &ev}, func() { _ = o.m.SetScenario(prev) })
+	seq, err := o.journalApplied(Record{At: at, Kind: RecApplyEvent, Event: &ev}, func() { _ = o.m.SetScenario(prev) })
 	if err != nil {
 		return err
+	}
+	if o.events != nil {
+		o.publish(events.Event{At: at, Kind: events.KindScenario, State: "applied", Payload: ev, JournalSeq: seq})
+		o.publishLocked()
 	}
 	o.kick()
 	return nil
@@ -400,9 +532,18 @@ func (o *Operator) SetScenario(sc *scenario.Scenario) error {
 	if err := o.m.SetScenario(sc); err != nil {
 		return err
 	}
-	err := o.journalApplied(Record{At: o.now(), Kind: RecSetScenario, Scenario: sc.Clone()}, func() { _ = o.m.SetScenario(prev) })
+	at := o.now()
+	seq, err := o.journalApplied(Record{At: at, Kind: RecSetScenario, Scenario: sc.Clone()}, func() { _ = o.m.SetScenario(prev) })
 	if err != nil {
 		return err
+	}
+	if o.events != nil {
+		ev := events.Event{At: at, Kind: events.KindScenario, State: "cleared", JournalSeq: seq}
+		if sc != nil {
+			ev.State, ev.Scenario = "replaced", sc.Name
+		}
+		o.publish(ev)
+		o.publishLocked()
 	}
 	o.kick()
 	return nil
@@ -416,9 +557,14 @@ func (o *Operator) SetPolicy(name string) error {
 	if err := o.m.SetPolicy(name); err != nil {
 		return err
 	}
-	err := o.journalApplied(Record{At: o.now(), Kind: RecSetPolicy, Policy: name}, func() { _ = o.m.SetPolicy(prev) })
+	at := o.now()
+	seq, err := o.journalApplied(Record{At: at, Kind: RecSetPolicy, Policy: name}, func() { _ = o.m.SetPolicy(prev) })
 	if err != nil {
 		return err
+	}
+	if o.events != nil {
+		o.publish(events.Event{At: at, Kind: events.KindPolicy, Policy: name, JournalSeq: seq})
+		o.publishLocked() // a policy switch replans every live job
 	}
 	o.kick()
 	return nil
@@ -450,11 +596,16 @@ type JobStatus struct {
 
 // Has reports whether the operator knows the ID — live or retired —
 // without computing a schedule (cheap membership for registry scans).
+// Both checks run under one hold of o.mu: retirement moves an ID from
+// the live set into the done map under the same lock, so an ID the
+// operator knows can never fall between the two reads. (Checking the
+// live set after unlocking — the old shape — let a concurrently
+// retiring job vanish from both views and a duplicate submit slip
+// past the registry scan.)
 func (o *Operator) Has(id string) bool {
 	o.mu.Lock()
-	_, retired := o.done[id]
-	o.mu.Unlock()
-	if retired {
+	defer o.mu.Unlock()
+	if _, retired := o.done[id]; retired {
 		return true
 	}
 	_, live := o.m.jobByID(id)
@@ -478,17 +629,23 @@ func (o *Operator) Job(id string) (JobStatus, bool, error) {
 	if err != nil || !ok {
 		return JobStatus{}, ok, err
 	}
-	now := o.Now()
-	st := "queued"
+	return JobStatus{Placement: p, State: placementState(p, o.Now())}, true, nil
+}
+
+// placementState derives a live placement's wall-clock state at the
+// given instant — the single vocabulary shared by Job and the event
+// stream.
+func placementState(p Placement, now float64) string {
 	switch {
 	case p.Unplaced != "":
-		st = "unplaced"
-	case now >= p.Finish && len(p.Nodes) > 0:
-		st = "done"
-	case now >= p.Start && len(p.Nodes) > 0:
-		st = "running"
+		return "unplaced"
+	case len(p.Nodes) > 0 && now >= p.Finish:
+		return "done"
+	case len(p.Nodes) > 0 && now >= p.Start:
+		return "running"
+	default:
+		return "queued"
 	}
-	return JobStatus{Placement: p, State: st}, true, nil
 }
 
 // nextEdge is the earliest wall instant after now where something
@@ -551,6 +708,7 @@ func (o *Operator) loop() {
 func (o *Operator) tick() {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	o.publishLocked() // announce whatever the clock made true first
 	_ = o.tryRetireLocked()
 	if o.sinceSnp >= o.snapEvery {
 		_ = o.snapshotLocked()
@@ -601,8 +759,15 @@ func (o *Operator) tryRetireLocked() error {
 			_ = o.m.Submit(jobs[i])
 		}
 	}
-	if err := o.journalApplied(Record{At: now, Kind: RecRetire, IDs: ids}, rollback); err != nil {
+	seq, err := o.journalApplied(Record{At: now, Kind: RecRetire, IDs: ids}, rollback)
+	if err != nil {
 		return err
+	}
+	if o.events != nil {
+		for _, id := range ids {
+			delete(o.lastState, id)
+		}
+		o.publish(events.Event{At: now, Kind: events.KindRetire, Jobs: ids, JournalSeq: seq})
 	}
 	return o.snapshotLocked()
 }
@@ -701,6 +866,7 @@ func (o *Operator) Close() error {
 	o.stopLoop()
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	o.publishLocked() // final transitions precede the retire event
 	_ = o.tryRetireLocked()
 	err := o.snapshotLocked()
 	if cerr := o.j.Close(); err == nil {

@@ -42,6 +42,60 @@ type Endpoint struct {
 	cached    atomic.Uint64
 	inFlight  atomic.Int64
 	latency   metrics.Histogram
+	window    rateWindow
+}
+
+// rateWindowSeconds is the span of the sliding throughput window. Long
+// enough to smooth per-second jitter, short enough that a dashboard
+// polling it tracks load changes within half a minute.
+const rateWindowSeconds = 30
+
+// rateWindow counts completions in per-second buckets over a trailing
+// window. A ring of tagged buckets: each slot remembers which absolute
+// second it counts, so stale slots cost nothing to expire — they are
+// simply overwritten on write and skipped on read. The lifetime
+// average this replaces read near zero during a live storm after an
+// idle hour; the window reads the storm.
+type rateWindow struct {
+	mu    sync.Mutex
+	secs  [rateWindowSeconds]int64  // absolute second each bucket counts
+	hits  [rateWindowSeconds]uint64 // completions in that second
+}
+
+// observe counts one completion at the given instant.
+func (w *rateWindow) observe(now time.Time) {
+	sec := now.Unix()
+	i := int(sec % rateWindowSeconds)
+	w.mu.Lock()
+	if w.secs[i] != sec {
+		w.secs[i], w.hits[i] = sec, 0
+	}
+	w.hits[i]++
+	w.mu.Unlock()
+}
+
+// rate reports completions per second over the trailing window ending
+// at now. elapsed (seconds the endpoint has existed) shortens the
+// divisor on a young server so the first seconds of traffic are not
+// diluted by a window that has not filled yet.
+func (w *rateWindow) rate(now time.Time, elapsed float64) float64 {
+	sec := now.Unix()
+	span := float64(rateWindowSeconds)
+	if elapsed < span {
+		span = elapsed
+	}
+	if span < 1 {
+		span = 1
+	}
+	var total uint64
+	w.mu.Lock()
+	for i := range w.secs {
+		if d := sec - w.secs[i]; d >= 0 && d < rateWindowSeconds {
+			total += w.hits[i]
+		}
+	}
+	w.mu.Unlock()
+	return float64(total) / span
 }
 
 // Begin marks a request in flight and returns the completion callback:
@@ -54,6 +108,7 @@ func (e *Endpoint) Begin() func(status int) {
 	return func(status int) {
 		e.inFlight.Add(-1)
 		e.requests.Add(1)
+		e.window.observe(time.Now())
 		e.latency.Observe(time.Since(start))
 		switch {
 		case status == 429:
@@ -79,9 +134,14 @@ type EndpointSnapshot struct {
 	Coalesced uint64 `json:"coalesced,omitempty"`
 	Cached    uint64 `json:"cached,omitempty"`
 	InFlight  int64  `json:"in_flight"`
-	// ThroughputRPS is completed requests per second of server uptime.
-	ThroughputRPS float64                   `json:"throughput_rps"`
-	Latency       metrics.HistogramSnapshot `json:"latency_ms"`
+	// ThroughputRPS is completed requests per second over the trailing
+	// 30-second window — the live rate a dashboard should render.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// ThroughputRPSLifetime is the old lifetime average (requests per
+	// second of server uptime), kept under its own key for consumers
+	// that graphed the historical figure.
+	ThroughputRPSLifetime float64                   `json:"throughput_rps_lifetime"`
+	Latency               metrics.HistogramSnapshot `json:"latency_ms"`
 }
 
 // StatsSnapshot is the JSON shape of GET /v1/stats and the serve block
@@ -113,8 +173,9 @@ func (s *Stats) Snapshot() StatsSnapshot {
 			InFlight:  ep.inFlight.Load(),
 			Latency:   ep.latency.Snapshot(),
 		}
+		es.ThroughputRPS = ep.window.rate(time.Now(), uptime)
 		if uptime > 0 {
-			es.ThroughputRPS = float64(reqs) / uptime
+			es.ThroughputRPSLifetime = float64(reqs) / uptime
 		}
 		snap.Endpoints[name] = es
 	}

@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// The sliding window must decay: traffic that stopped half a minute
+// ago reads as zero, not as a diluted lifetime average. Times are
+// injected, so the test is exact.
+func TestRateWindowDecay(t *testing.T) {
+	var w rateWindow
+	t0 := time.Unix(1_000_000, 0)
+	for i := 0; i < 90; i++ { // a 3 rps burst for the full window
+		w.observe(t0.Add(time.Duration(i%rateWindowSeconds) * time.Second))
+	}
+	if got := w.rate(t0.Add(29*time.Second), 3600); got != 3 {
+		t.Fatalf("rate during burst = %g rps, want 3", got)
+	}
+	// 15s after the burst half the window still counts it...
+	if got := w.rate(t0.Add(44*time.Second), 3600); got != 1.5 {
+		t.Fatalf("rate 15s after burst = %g rps, want 1.5", got)
+	}
+	// ...and one full window after the last hit it is exactly zero.
+	if got := w.rate(t0.Add((29+rateWindowSeconds)*time.Second), 3600); got != 0 {
+		t.Fatalf("rate one window after burst = %g rps, want 0", got)
+	}
+	// New traffic after the idle gap reads at its live rate, not the
+	// lifetime-diluted one the old figure reported.
+	t1 := t0.Add(2 * time.Hour)
+	for i := 0; i < 60; i++ {
+		w.observe(t1)
+		w.observe(t1.Add(time.Second))
+	}
+	if got := w.rate(t1.Add(time.Second), 2*3600); got != 4 {
+		t.Fatalf("rate during fresh storm = %g rps, want 4 (120 hits / 30s)", got)
+	}
+}
+
+// A young endpoint divides by its age, not the full window: three
+// requests in the first second must not read as 0.1 rps.
+func TestRateWindowYoungServer(t *testing.T) {
+	var w rateWindow
+	now := time.Unix(2_000_000, 0)
+	for i := 0; i < 3; i++ {
+		w.observe(now)
+	}
+	if got := w.rate(now, 1); got != 3 {
+		t.Fatalf("rate on a 1s-old server = %g rps, want 3", got)
+	}
+	if got := w.rate(now, 0.2); got != 3 {
+		t.Fatalf("sub-second elapsed must clamp to 1s: got %g rps, want 3", got)
+	}
+}
